@@ -1,0 +1,55 @@
+// E3 — Section 3.3 claim: using the three direct 2D embeddings, graph
+// decomposition and Gray code, all 2D meshes with <= 64 nodes embed into a
+// minimal cube with dilation two and congestion two — except 3x21.
+//
+// We reproduce the claim constructively: the planner WITHOUT the search
+// provider is exactly the paper's toolkit; with search attached the single
+// exception is resolved as well.
+#include <cstdio>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "search/provider.hpp"
+
+using namespace hj;
+
+int main() {
+  std::printf("E3: constructive coverage of 2D meshes with <= 64 nodes\n\n");
+
+  Planner paper_toolkit;  // tables + decomposition + extension, no search
+  Planner with_search;
+  with_search.set_direct_provider(search::make_search_provider());
+
+  u64 total = 0, ok_paper = 0, ok_search = 0;
+  std::vector<Shape> exceptions;
+  for (u64 a = 1; a <= 64; ++a) {
+    for (u64 b = a; a * b <= 64; ++b) {
+      ++total;
+      Shape s{a, b};
+      PlanResult r = paper_toolkit.plan(s);
+      const bool good = r.report.valid && r.report.minimal_expansion &&
+                        r.report.dilation <= 2 && r.report.congestion <= 2;
+      if (good) {
+        ++ok_paper;
+      } else {
+        exceptions.push_back(s);
+        std::printf("  paper-toolkit exception: %-8s -> %s\n",
+                    s.to_string().c_str(), r.plan.c_str());
+      }
+      PlanResult rs = with_search.plan(s);
+      if (rs.report.valid && rs.report.minimal_expansion &&
+          rs.report.dilation <= 2)
+        ++ok_search;
+    }
+  }
+
+  std::printf("\n%llu meshes total; paper toolkit solves %llu "
+              "(paper: all but 3x21); +search solves %llu\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(ok_paper),
+              static_cast<unsigned long long>(ok_search));
+  std::printf("expected exception set: {3x21}; observed: {");
+  for (const Shape& s : exceptions) std::printf(" %s", s.to_string().c_str());
+  std::printf(" }\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E13 (extension) — what the mesh abstraction costs for collectives.
+//
+// The embeddings make mesh-logical communication cheap (dilation 2), but a
+// mesh-shaped broadcast still pays the mesh diameter, while the underlying
+// cube can broadcast in ceil(log2 N) rounds (Johnsson [15]). This bench
+// quantifies the gap on embedded meshes, across message sizes and
+// switching modes — the case for dropping to native cube collectives even
+// when the computation is mesh-structured.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "hypersim/collectives.hpp"
+
+using namespace hj;
+
+namespace {
+
+void row(const char* label, const sim::Schedule& s, u32 dim, u32 flits,
+         sim::Switching sw) {
+  sim::SimResult r =
+      sim::run_schedule(s, sim::SimConfig{dim, 1, 1'000'000, sw, flits});
+  std::printf("  %-26s %-8llu cycles (%llu messages)\n", label,
+              static_cast<unsigned long long>(r.cycles),
+              static_cast<unsigned long long>(r.messages));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13: broadcast on a 8x8 mesh embedded in Q6\n\n");
+  Planner planner;
+  PlanResult mesh = planner.plan(Shape{8, 8});
+
+  for (u32 flits : {1u, 16u}) {
+    for (auto sw : {sim::Switching::StoreAndForward,
+                    sim::Switching::CutThrough}) {
+      std::printf("message %u flits, %s:\n", flits,
+                  sw == sim::Switching::StoreAndForward ? "store-and-forward"
+                                                        : "cut-through");
+      row("mesh flood (corner root)",
+          sim::mesh_flood_broadcast(*mesh.embedding, 0),
+          mesh.embedding->host_dim(), flits, sw);
+      const MeshIndex center =
+          mesh.embedding->guest().shape().index(Coord{4, 4});
+      row("mesh flood (center root)",
+          sim::mesh_flood_broadcast(*mesh.embedding, center),
+          mesh.embedding->host_dim(), flits, sw);
+      row("native binomial tree",
+          sim::binomial_broadcast(mesh.embedding->host_dim(),
+                                  mesh.embedding->map(0)),
+          mesh.embedding->host_dim(), flits, sw);
+      std::printf("\n");
+    }
+  }
+  std::printf("Reading: the mesh abstraction pays the mesh diameter (~2 "
+              "sqrt(N)) per broadcast;\nthe cube's binomial tree pays log2 "
+              "N — embeddings do not replace native collectives.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E14 (extension) — Cannon's algorithm across embeddings: the end-to-end
+// cost of the embedding choice for the paper's motivating application.
+//
+// Same computation, same machine-cycle model, four placements of a 6x6
+// process grid:
+//   * planner torus (Section 6, wrap channels dilation <= 2)
+//   * planner mesh (no wrap channels: cyclic shifts pay the long way back)
+//   * Gray torus on 8x8 (expansion ~1.8: idle processors, dilation 1)
+//   * Gray mesh without wrap
+#include <cstdio>
+#include <random>
+
+#include "core/planner.hpp"
+#include "linalg/cannon.hpp"
+#include "torus/torus.hpp"
+
+using namespace hj;
+
+namespace {
+
+void run(const char* label, const Embedding& emb, u64 m,
+         const std::vector<double>& A, const std::vector<double>& B,
+         const std::vector<double>& ref) {
+  for (u32 flits : {1u, 8u}) {
+    la::CannonResult r = la::cannon_multiply(emb, m, A, B, flits);
+    double err = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      err = std::max(err, std::abs(r.C[i] - ref[i]));
+    std::printf("  %-28s tile=%u flits: comm %-5llu (skew %-4llu) Q%u %s\n",
+                label, flits, static_cast<unsigned long long>(r.comm_cycles),
+                static_cast<unsigned long long>(r.skew_cycles),
+                emb.host_dim(), err < 1e-9 ? "ok" : "WRONG");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const u64 p = 6, m = 24;
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<double> A(m * m), B(m * m);
+  for (double& v : A) v = val(rng);
+  for (double& v : B) v = val(rng);
+  const std::vector<double> ref = la::reference_multiply(m, A, B);
+
+  std::printf("E14: Cannon's algorithm, %llux%llu matrices on a %llux%llu "
+              "process grid\n\n",
+              static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(p),
+              static_cast<unsigned long long>(p));
+
+  torus::TorusPlanner tp;
+  Planner mp;
+  run("planner torus 6x6", *tp.plan(Shape{p, p}).embedding, m, A, B, ref);
+  run("planner mesh 6x6", *mp.plan(Shape{p, p}).embedding, m, A, B, ref);
+  GrayEmbedding gray_torus{Mesh::torus(Shape{8, 8})};
+  // Gray 8x8 torus: run the same 6x6 logical grid on its top-left corner?
+  // Cannon needs the wrap channels of the full ring, so instead compare a
+  // power-of-two grid where Gray is the natural choice:
+  std::printf("\npower-of-two grid for reference (8x8, m=24):\n");
+  run("gray torus 8x8", gray_torus, 24, A, B, ref);
+  GrayEmbedding gray_mesh{Mesh(Shape{8, 8})};
+  run("gray mesh 8x8", gray_mesh, 24, A, B, ref);
+
+  std::printf("\nReading: the torus embedding's wrap channels keep every "
+              "shift at <= 2 hops; without\nthem the wrap messages cross "
+              "the embedded grid and dominate the skew phase.\n");
+  return 0;
+}

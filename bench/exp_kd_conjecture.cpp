@@ -1,0 +1,46 @@
+// E12 — the Summary's conjecture, quantified (beyond the paper):
+// "We conjecture that a majority of the higher dimensional meshes can be
+//  embedded with dilation two using the existing two-, and
+//  three-dimensional mesh embeddings of dilation two."
+//
+// covered_kd() partitions the axes into blocks of <= 3 handled by the
+// paper's own machinery (Gray / Chan 2-D / methods 1-4 in 3-D) and checks
+// the Corollary 1 cube budget. No cross-block splitting is attempted, so
+// the numbers below are a LOWER bound on the dilation-2 coverage.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/coverage.hpp"
+
+using namespace hj;
+
+int main(int argc, char** argv) {
+  u32 max_n4 = 7, max_n5 = 5;
+  if (argc > 1) max_n4 = static_cast<u32>(std::atoi(argv[1]));
+  if (argc > 2) max_n5 = static_cast<u32>(std::atoi(argv[2]));
+
+  std::printf("E12: k-D coverage by 2-D/3-D machinery (lower bound)\n\n");
+  std::printf("%-4s %-4s %-12s %-10s %-8s\n", "k", "n", "covered", "total",
+              "time");
+  struct Row {
+    u32 k, n;
+  };
+  std::vector<Row> rows;
+  for (u32 n = 1; n <= max_n4; ++n) rows.push_back({4, n});
+  for (u32 n = 1; n <= max_n5; ++n) rows.push_back({5, n});
+  for (const Row& r : rows) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const coverage::KdSweep s = coverage::sweep_kd(r.k, r.n);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%-4u %-4u %-11.1f%% %-10llu %-8.2fs\n", r.k, r.n,
+                s.percent(), static_cast<unsigned long long>(s.total), dt);
+  }
+  std::printf("\nThe conjecture ('a majority') holds wherever the covered "
+              "column stays above 50%%.\nFor comparison, Gray alone covers "
+              "only ~8.9%% (k=4) / ~2.4%% (k=5) asymptotically (Figure 1).\n");
+  return 0;
+}

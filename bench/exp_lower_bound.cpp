@@ -1,0 +1,49 @@
+// E9 — Theorem 1 (Havel & Moravek): a dilation-one embedding of an
+// l1 x ... x lk mesh needs at least sum_i ceil(log2 l_i) cube dimensions.
+// The backtracking searcher verifies the bound exhaustively on small
+// shapes: below the bound every search space is refuted; at the bound the
+// Gray witness is found.
+#include <cstdio>
+
+#include "search/backtrack.hpp"
+
+using namespace hj;
+using namespace hj::search;
+
+int main() {
+  std::printf("E9: Havel-Moravek dilation-1 lower bound, verified "
+              "exhaustively\n\n");
+  std::printf("%-10s %-6s %-10s %-22s %-22s\n", "mesh", "bound", "minimal",
+              "search at minimal dim", "search at bound");
+
+  for (Shape s : {Shape{3, 3}, Shape{3, 5}, Shape{3, 6}, Shape{5, 5},
+                  Shape{3, 3, 3}, Shape{5, 6}, Shape{7, 9}, Shape{3, 3, 7}}) {
+    u32 bound = 0;
+    for (u32 i = 0; i < s.dims(); ++i) bound += log2_ceil(s[i]);
+    const u32 minimal = s.minimal_cube_dim();
+
+    BacktrackOptions o;
+    o.max_dilation = 1;
+    o.node_budget = 200'000'000;
+    char below[64] = "(bound == minimal)";
+    if (minimal < bound) {
+      auto r = backtrack_search(Mesh(s), minimal, o);
+      std::snprintf(below, sizeof below, "%s (%llu nodes)",
+                    r.exhausted && !r.map ? "refuted"
+                    : r.map              ? "FOUND?!"
+                                         : "budget out",
+                    static_cast<unsigned long long>(r.nodes_expanded));
+    }
+    auto at = backtrack_search(Mesh(s), bound, o);
+    char atb[64];
+    std::snprintf(atb, sizeof atb, "%s (%llu nodes)",
+                  at.map ? "witness found" : "MISSING?!",
+                  static_cast<unsigned long long>(at.nodes_expanded));
+    std::printf("%-10s %-6u %-10u %-22s %-22s\n", s.to_string().c_str(),
+                bound, minimal, below, atb);
+  }
+  std::printf("\nEvery row with minimal < bound must read 'refuted', and "
+              "every bound column\n'witness found' — Theorem 1 is tight on "
+              "these shapes.\n");
+  return 0;
+}

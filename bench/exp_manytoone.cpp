@@ -1,0 +1,53 @@
+// E8 — Section 7: many-to-one embeddings.
+//
+// The paper's worked example: a 19x19 mesh embeds in a 5-cube with
+// dilation one and load factor 15 (via the 3*2^3 x 5*2^2 = 24x20 mesh),
+// against an optimal load of ceil(361/32) = 12. We reproduce it exactly
+// and sweep a table of mesh/cube combinations.
+#include <cstdio>
+
+#include "manytoone/manytoone.hpp"
+
+using namespace hj;
+
+int main() {
+  std::printf("E8: many-to-one embeddings (Section 7)\n\n");
+
+  {
+    m2o::ContractPlan p = m2o::contract_to_cube(Shape{19, 19}, 5);
+    std::printf("paper example 19x19 -> Q5:\n");
+    std::printf("  load factor %llu (paper: 15), optimal %llu (paper: 12), "
+                "dilation %u (paper: 1)\n",
+                static_cast<unsigned long long>(p.report.load_factor),
+                static_cast<unsigned long long>(p.optimal_load),
+                p.report.dilation);
+    std::printf("  plan: %s\n\n", p.plan.c_str());
+  }
+
+  std::printf("%-12s %-4s %-6s %-8s %-7s %-5s %-6s %s\n", "mesh", "n",
+              "load", "optimal", "ratio", "dil", "cong", "corollary5");
+  struct Case {
+    Shape shape;
+    u32 n;
+  };
+  for (const Case& c :
+       {Case{Shape{19, 19}, 5}, Case{Shape{19, 19}, 4},
+        Case{Shape{19, 19}, 6}, Case{Shape{100, 100}, 8},
+        Case{Shape{9, 9, 9}, 6}, Case{Shape{33, 65}, 8},
+        Case{Shape{127, 127}, 10}, Case{Shape{5, 6, 7}, 4},
+        Case{Shape{512}, 5}, Case{Shape{31, 17, 9}, 9}}) {
+    m2o::ContractPlan p = m2o::contract_to_cube(c.shape, c.n);
+    std::printf("%-12s %-4u %-6llu %-8llu %-7.2f %-5u %-6u %s\n",
+                c.shape.to_string().c_str(), c.n,
+                static_cast<unsigned long long>(p.report.load_factor),
+                static_cast<unsigned long long>(p.optimal_load),
+                static_cast<double>(p.report.load_factor) /
+                    static_cast<double>(p.optimal_load),
+                p.report.dilation, p.report.congestion,
+                m2o::corollary5_condition(c.shape, c.n) ? "holds" : "fails");
+  }
+  std::printf("\nWhere the Corollary 5 condition holds, load/optimal <= 2; "
+              "where it fails, the paper\npromises nothing (the scheme still "
+              "returns its best decomposition).\n");
+  return 0;
+}

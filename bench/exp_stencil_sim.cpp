@@ -1,0 +1,122 @@
+// E10 — what dilation-2 minimal expansion buys on a real machine: the
+// paper's motivating tradeoff, quantified on the hypersim substrate.
+//
+// Scenario A (fits both ways): the 9x13 mesh on a Q7 machine.
+//   * decomposition embedding: minimal expansion (117/128 processors
+//     busy), dilation 2.
+//   * Gray code: needs Q8 — on the Q7 machine it must halve an axis and
+//     run at load factor 2 (half the work per processor doubles).
+// Scenario B (one-to-one on different machines): 7x9 via Gray (Q7,
+//   128 processors for 63 cells) vs the direct table (Q6).
+//
+// Cost model per relaxation sweep: T = w * load_factor + beta * cycles,
+// with w the per-cell compute cost and cycles the simulated neighbor
+// exchange time.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "hypersim/network.hpp"
+#include "manytoone/manytoone.hpp"
+#include "search/provider.hpp"
+
+using namespace hj;
+
+namespace {
+
+void report(const char* label, const Embedding& emb, u64 load_factor) {
+  sim::SimResult r = sim::simulate_stencil(emb);
+  const double busy = static_cast<double>(emb.guest().num_nodes()) /
+                      static_cast<double>(u64{1} << emb.host_dim()) /
+                      static_cast<double>(load_factor);
+  std::printf("  %-34s Q%-3u load %-3llu comm %-4llu cycles (bound %-3llu) "
+              "busy %.0f%%\n",
+              label, emb.host_dim(), static_cast<unsigned long long>(load_factor),
+              static_cast<unsigned long long>(r.cycles),
+              static_cast<unsigned long long>(r.lower_bound()),
+              100.0 * busy);
+  for (double w : {1.0, 4.0, 16.0}) {
+    const double total = w * static_cast<double>(load_factor) +
+                         static_cast<double>(r.cycles);
+    std::printf("      w=%-4.0f T = %.1f\n", w, total);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: stencil exchange on the simulated cube machine\n\n");
+
+  std::printf("Scenario A: 9x13 mesh, Q7 machine (128 nodes)\n");
+  {
+    Planner planner;
+    planner.set_direct_provider(search::make_search_provider());
+    PlanResult dec = planner.plan(Shape{9, 13});
+    report("decomposition (dil 2, minimal)", *dec.embedding, 1);
+    m2o::ContractPlan gray = m2o::contract_to_cube(Shape{9, 13}, 7);
+    report("Gray + contraction (dil 1)", *gray.embedding,
+           gray.report.load_factor);
+  }
+
+  std::printf("\nScenario B: 7x9 mesh, one-to-one on its own machine\n");
+  {
+    Planner planner;
+    PlanResult direct = planner.plan(Shape{7, 9});
+    report("direct table (Q6, minimal)", *direct.embedding, 1);
+    GrayEmbedding gray{Mesh(Shape{7, 9})};
+    report("Gray code (Q7, expansion 2)", gray, 1);
+  }
+
+  std::printf("\nScenario C: axis shift (CSHIFT) communication only\n");
+  {
+    Planner planner;
+    PlanResult direct = planner.plan(Shape{7, 9});
+    for (u32 axis = 0; axis < 2; ++axis) {
+      sim::CubeNetwork net(sim::SimConfig{direct.embedding->host_dim()});
+      net.add_axis_shift(*direct.embedding, axis);
+      sim::SimResult r = net.run();
+      std::printf("  direct 7x9 axis %u shift: %llu cycles (bound %llu)\n",
+                  axis, static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.lower_bound()));
+    }
+  }
+
+  std::printf("\nScenario D: message-size sweep — does dilation 2 still "
+              "hurt with cut-through?\n");
+  {
+    Planner planner;
+    PlanResult direct = planner.plan(Shape{7, 9});
+    GrayEmbedding gray{Mesh(Shape{7, 9})};
+    std::printf("  %-6s %-26s %-26s\n", "flits",
+                "store-and-forward (dir/gray)", "cut-through (dir/gray)");
+    for (u32 f : {1u, 4u, 16u, 64u}) {
+      const auto saf_d = sim::simulate_stencil(
+          *direct.embedding, 1, sim::Switching::StoreAndForward, f);
+      const auto saf_g = sim::simulate_stencil(
+          gray, 1, sim::Switching::StoreAndForward, f);
+      const auto ct_d = sim::simulate_stencil(*direct.embedding, 1,
+                                              sim::Switching::CutThrough, f);
+      const auto ct_g =
+          sim::simulate_stencil(gray, 1, sim::Switching::CutThrough, f);
+      std::printf("  %-6u %6llu / %-6llu (%.2fx)     %6llu / %-6llu "
+                  "(%.2fx)\n",
+                  f, static_cast<unsigned long long>(saf_d.cycles),
+                  static_cast<unsigned long long>(saf_g.cycles),
+                  static_cast<double>(saf_d.cycles) /
+                      static_cast<double>(saf_g.cycles),
+                  static_cast<unsigned long long>(ct_d.cycles),
+                  static_cast<unsigned long long>(ct_g.cycles),
+                  static_cast<double>(ct_d.cycles) /
+                      static_cast<double>(ct_g.cycles));
+    }
+  }
+
+  std::printf("\nReading: minimal expansion keeps nearly all processors "
+              "busy at a ~2x communication\ncost; Gray either strands half "
+              "the machine (B) or doubles compute via load factor (A).\n"
+              "The paper's dilation-2 embeddings win whenever compute "
+              "dominates (w >= ~2).\nUnder cut-through switching (post-"
+              "paper hardware) the dilation-2 penalty shrinks toward\n"
+              "the congestion bound — minimal expansion wins even more "
+              "clearly.\n");
+  return 0;
+}

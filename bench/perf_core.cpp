@@ -1,0 +1,101 @@
+// P1-P4 — performance microbenchmarks of the library's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/coverage.hpp"
+#include "core/direct.hpp"
+#include "core/planner.hpp"
+#include "core/product.hpp"
+#include "core/verify.hpp"
+#include "hypersim/network.hpp"
+
+namespace hj {
+namespace {
+
+void BM_GrayMap(benchmark::State& state) {
+  GrayEmbedding emb{Mesh(Shape{512, 512})};
+  MeshIndex i = 0;
+  const u64 n = emb.guest().num_nodes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emb.map(i));
+    i = (i + 9973) % n;
+  }
+}
+BENCHMARK(BM_GrayMap);
+
+void BM_ProductMap(benchmark::State& state) {
+  // A three-level composition, the deepest structure the planner builds.
+  auto d = *direct_embedding(Shape{7, 9});
+  auto g = std::make_shared<GrayEmbedding>(Mesh(Shape{16, 8}));
+  MeshProductEmbedding prod(g, d);
+  MeshIndex i = 0;
+  const u64 n = prod.guest().num_nodes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prod.map(i));
+    i = (i + 9973) % n;
+  }
+}
+BENCHMARK(BM_ProductMap);
+
+void BM_ProductEdgePath(benchmark::State& state) {
+  auto d = *direct_embedding(Shape{7, 9});
+  auto g = std::make_shared<GrayEmbedding>(Mesh(Shape{16, 8}));
+  MeshProductEmbedding prod(g, d);
+  const auto edges = prod.guest().edges();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prod.edge_path(edges[i]));
+    i = (i + 97) % edges.size();
+  }
+}
+BENCHMARK(BM_ProductEdgePath);
+
+void BM_Verify(benchmark::State& state) {
+  const u64 side = static_cast<u64>(state.range(0));
+  GrayEmbedding emb{Mesh(Shape{side, side})};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(emb));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(emb.guest().num_edges()));
+}
+BENCHMARK(BM_Verify)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CoverageFirstMethod(benchmark::State& state) {
+  u64 l = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coverage::first_method(l % 512 + 1, (l * 7) % 512 + 1,
+                               (l * 13) % 512 + 1));
+    ++l;
+  }
+}
+BENCHMARK(BM_CoverageFirstMethod);
+
+void BM_CoverageSweep(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverage::sweep_3d(n));
+  }
+}
+BENCHMARK(BM_CoverageSweep)->Arg(5)->Arg(7);
+
+void BM_PlannerPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    Planner p;  // fresh memo each iteration: measures full planning cost
+    benchmark::DoNotOptimize(p.plan(Shape{12, 20}));
+  }
+}
+BENCHMARK(BM_PlannerPlan);
+
+void BM_StencilSim(benchmark::State& state) {
+  auto d = *direct_embedding(Shape{7, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_stencil(*d));
+  }
+}
+BENCHMARK(BM_StencilSim);
+
+}  // namespace
+}  // namespace hj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// P5 — search engine performance: how fast the direct tables regenerate.
+#include <benchmark/benchmark.h>
+
+#include "search/anneal.hpp"
+#include "search/backtrack.hpp"
+
+namespace hj::search {
+namespace {
+
+void BM_Backtrack3x5(benchmark::State& state) {
+  Mesh m(Shape{3, 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backtrack_search(m, 4));
+  }
+}
+BENCHMARK(BM_Backtrack3x5);
+
+void BM_Backtrack7x9(benchmark::State& state) {
+  Mesh m(Shape{7, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backtrack_search(m, 6));
+  }
+}
+BENCHMARK(BM_Backtrack7x9);
+
+void BM_Backtrack11x11(benchmark::State& state) {
+  Mesh m(Shape{11, 11});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backtrack_search(m, 7));
+  }
+}
+BENCHMARK(BM_Backtrack11x11);
+
+void BM_BacktrackRefute3x5Dil1(benchmark::State& state) {
+  // Exhaustive refutation (Theorem 1 check) — the complete-search cost.
+  Mesh m(Shape{3, 5});
+  BacktrackOptions o;
+  o.max_dilation = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backtrack_search(m, 4, o));
+  }
+}
+BENCHMARK(BM_BacktrackRefute3x5Dil1);
+
+void BM_Anneal3x3x3(benchmark::State& state) {
+  Mesh m(Shape{3, 3, 3});
+  AnnealOptions o;
+  o.iterations = 300'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anneal_search(m, 5, o));
+  }
+}
+BENCHMARK(BM_Anneal3x3x3);
+
+}  // namespace
+}  // namespace hj::search
+
+BENCHMARK_MAIN();

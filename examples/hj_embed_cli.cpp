@@ -1,0 +1,126 @@
+// The hj_embed command-line tool: the library's planners, verifier,
+// serializer and simulator behind one binary.
+//
+//   hj_embed plan 5 6 7                plan a mesh, print the certificate
+//   hj_embed torus 10 14               plan a wraparound mesh
+//   hj_embed contract 5 19 19          many-to-one into Q5
+//   hj_embed save out.hje 7 9          plan and serialize
+//   hj_embed verify out.hje            reload and re-verify a saved file
+//   hj_embed sim 9 13                  stencil-exchange simulation
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/io.hpp"
+#include "core/planner.hpp"
+#include "hypersim/network.hpp"
+#include "manytoone/manytoone.hpp"
+#include "search/provider.hpp"
+#include "torus/torus.hpp"
+
+using namespace hj;
+
+namespace {
+
+Shape parse_shape(int argc, char** argv, int from) {
+  SmallVec<u64, 4> extents;
+  for (int i = from; i < argc; ++i)
+    extents.push_back(std::strtoull(argv[i], nullptr, 10));
+  require(!extents.empty(), "expected axis lengths");
+  return Shape{extents};
+}
+
+int cmd_plan(int argc, char** argv) {
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  PlanResult r = planner.plan(parse_shape(argc, argv, 2));
+  std::printf("%splan: %s\n", detailed_summary(r.report, *r.embedding).c_str(),
+              r.plan.c_str());
+  return r.report.valid ? 0 : 1;
+}
+
+int cmd_torus(int argc, char** argv) {
+  torus::TorusPlanner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  PlanResult r = planner.plan(parse_shape(argc, argv, 2));
+  std::printf("%s\nplan: %s\n", summary(r.report, *r.embedding).c_str(),
+              r.plan.c_str());
+  return r.report.valid ? 0 : 1;
+}
+
+int cmd_contract(int argc, char** argv) {
+  require(argc >= 4, "usage: contract <cube_dim> l1 [l2 ...]");
+  const u32 n = static_cast<u32>(std::atoi(argv[2]));
+  m2o::ContractPlan p = m2o::contract_to_cube(parse_shape(argc, argv, 3), n);
+  std::printf("%s\nplan: %s\noptimal load: %llu (achieved %llu)\n",
+              summary(p.report, *p.embedding).c_str(), p.plan.c_str(),
+              static_cast<unsigned long long>(p.optimal_load),
+              static_cast<unsigned long long>(p.report.load_factor));
+  return p.report.valid ? 0 : 1;
+}
+
+int cmd_save(int argc, char** argv) {
+  require(argc >= 4, "usage: save <file> l1 [l2 ...]");
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  PlanResult r = planner.plan(parse_shape(argc, argv, 3));
+  io::save(*r.embedding, argv[2]);
+  std::printf("saved %s -> %s (%s)\n",
+              r.embedding->guest().shape().to_string().c_str(), argv[2],
+              r.plan.c_str());
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  require(argc >= 3, "usage: verify <file>");
+  auto emb = io::load(argv[2]);
+  VerifyReport r = verify(*emb);
+  std::printf("%s", detailed_summary(r, *emb).c_str());
+  if (!r.valid)
+    for (const std::string& e : r.errors)
+      std::printf("  error: %s\n", e.c_str());
+  return r.valid ? 0 : 1;
+}
+
+int cmd_sim(int argc, char** argv) {
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  PlanResult r = planner.plan(parse_shape(argc, argv, 2));
+  for (u32 flits : {1u, 16u}) {
+    sim::SimResult saf = sim::simulate_stencil(
+        *r.embedding, 1, sim::Switching::StoreAndForward, flits);
+    sim::SimResult ct = sim::simulate_stencil(
+        *r.embedding, 1, sim::Switching::CutThrough, flits);
+    std::printf("stencil exchange, %2u flits: store-and-forward %llu "
+                "cycles, cut-through %llu cycles (bound %llu)\n",
+                flits, static_cast<unsigned long long>(saf.cycles),
+                static_cast<unsigned long long>(ct.cycles),
+                static_cast<unsigned long long>(saf.lower_bound()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s plan|torus|contract|save|verify|sim ...\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "plan") return cmd_plan(argc, argv);
+    if (cmd == "torus") return cmd_torus(argc, argv);
+    if (cmd == "contract") return cmd_contract(argc, argv);
+    if (cmd == "save") return cmd_save(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "sim") return cmd_sim(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,87 @@
+// Example: a Jacobi relaxation sweep on a 2D grid, mapped onto a simulated
+// Boolean-cube multiprocessor with two different embeddings.
+//
+// This is the paper's motivating workload (Section 1: "solution of partial
+// differential equations whenever regular grids are appropriate"). Each
+// processor owns one grid cell; every sweep it averages its mesh
+// neighbors' values, which costs one neighbor exchange on the cube
+// network. We run the same computation under
+//
+//   (a) the Gray-code embedding (dilation 1, but the cube is twice the
+//       mesh), and
+//   (b) the planner's dilation-2 minimal-expansion embedding,
+//
+// and report both the numerical result (identical — the embedding is
+// transparent) and the simulated communication cost.
+#include <cstdio>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "hypersim/network.hpp"
+#include "search/provider.hpp"
+
+using namespace hj;
+
+namespace {
+
+/// One Jacobi sweep through the *embedding*: values live on cube nodes,
+/// and every access goes through the node map — if the embedding were
+/// wrong, the numerics would be too.
+std::vector<double> jacobi_sweep(const Embedding& emb,
+                                 const std::vector<double>& cube_values) {
+  const Mesh& mesh = emb.guest();
+  std::vector<double> next = cube_values;
+  for (MeshIndex i = 0; i < mesh.num_nodes(); ++i) {
+    const auto nb = mesh.neighbors(i);
+    if (nb.empty()) continue;
+    double acc = 0;
+    for (MeshIndex j : nb) acc += cube_values[emb.map(j)];
+    next[emb.map(i)] = acc / static_cast<double>(nb.size());
+  }
+  return next;
+}
+
+double run(const char* label, const Embedding& emb, u32 sweeps) {
+  // Initialize: a point source in the middle of the mesh.
+  const Mesh& mesh = emb.guest();
+  std::vector<double> values(u64{1} << emb.host_dim(), 0.0);
+  values[emb.map(mesh.num_nodes() / 2)] = 1.0;
+
+  for (u32 s = 0; s < sweeps; ++s) values = jacobi_sweep(emb, values);
+
+  double checksum = 0;
+  for (MeshIndex i = 0; i < mesh.num_nodes(); ++i)
+    checksum += values[emb.map(i)] * static_cast<double>(i % 7);
+
+  const sim::SimResult comm = sim::simulate_stencil(emb);
+  const double busy = static_cast<double>(mesh.num_nodes()) /
+                      static_cast<double>(u64{1} << emb.host_dim());
+  std::printf("  %-28s Q%u  exchange %llu cycles/sweep, %4.0f%% busy, "
+              "checksum %.6f\n",
+              label, emb.host_dim(),
+              static_cast<unsigned long long>(comm.cycles), 100 * busy,
+              checksum);
+  return checksum;
+}
+
+}  // namespace
+
+int main() {
+  const Shape shape{9, 13};
+  std::printf("Jacobi relaxation on a %s grid, 20 sweeps:\n\n",
+              shape.to_string().c_str());
+
+  GrayEmbedding gray{Mesh(shape)};
+  const double a = run("Gray code (expansion 2)", gray, 20);
+
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  PlanResult plan = planner.plan(shape);
+  const double b = run("decomposition (minimal)", *plan.embedding, 20);
+
+  std::printf("\nchecksums agree: %s — the embedding is numerically "
+              "transparent;\nthe minimal embedding runs the same problem on "
+              "half the machine.\n",
+              std::abs(a - b) < 1e-12 ? "yes" : "NO (bug!)");
+  return std::abs(a - b) < 1e-12 ? 0 : 1;
+}

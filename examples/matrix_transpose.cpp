@@ -1,0 +1,84 @@
+// Example: distributed matrix computation on an embedded mesh — the
+// paper's linear-algebra motivation (Section 1, [Johnsson 87]).
+//
+// A matrix is distributed over an l1 x l2 processor mesh embedded in a
+// cube; a relaxation-style "transpose-accumulate" kernel makes every
+// element travel along its row and column through mesh-neighbor hops. We
+// compare the simulated communication schedule of Gray vs decomposition
+// embeddings, and check the data movement end-to-end through the node map.
+#include <cstdio>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "hypersim/network.hpp"
+
+using namespace hj;
+
+namespace {
+
+/// Shift the whole matrix one step along `axis` (toroidal ring shift is
+/// the usual systolic primitive; here a plain mesh shift with boundary
+/// hold). Data lives on cube nodes; movement goes through the embedding.
+std::vector<int> mesh_shift(const Embedding& emb, const std::vector<int>& v,
+                            u32 axis) {
+  const Shape& s = emb.guest().shape();
+  std::vector<int> out = v;
+  for (MeshIndex i = 0; i < s.num_nodes(); ++i) {
+    Coord c = s.coord(i);
+    if (c[axis] + 1 < s[axis]) {
+      Coord d = c;
+      d[axis] += 1;
+      out[emb.map(s.index(d))] = v[emb.map(i)];
+    }
+  }
+  return out;
+}
+
+void run(const char* label, const Embedding& emb) {
+  const Shape& s = emb.guest().shape();
+  std::vector<int> data(u64{1} << emb.host_dim(), -1);
+  for (MeshIndex i = 0; i < s.num_nodes(); ++i)
+    data[emb.map(i)] = static_cast<int>(i);
+
+  // Push everything one step right, then one step down: element (r, c)
+  // ends at (r+1, c+1) clamped — verifiable through the map.
+  std::vector<int> shifted = mesh_shift(emb, data, 1);
+  shifted = mesh_shift(emb, shifted, 0);
+  bool ok = true;
+  for (MeshIndex i = 0; i < s.num_nodes() && ok; ++i) {
+    Coord c = s.coord(i);
+    if (c[0] == 0 || c[1] == 0) continue;
+    Coord src = c;
+    src[0] -= 1;
+    src[1] -= 1;
+    ok = shifted[emb.map(i)] == static_cast<int>(s.index(src));
+  }
+
+  // Communication schedule for the two shifts.
+  sim::CubeNetwork net(sim::SimConfig{emb.host_dim()});
+  net.add_axis_shift(emb, 1);
+  const sim::SimResult row = net.run();
+  net.add_axis_shift(emb, 0);
+  const sim::SimResult col = net.run();
+
+  std::printf("  %-30s Q%u  row-shift %llu cy, col-shift %llu cy, data %s\n",
+              label, emb.host_dim(),
+              static_cast<unsigned long long>(row.cycles),
+              static_cast<unsigned long long>(col.cycles),
+              ok ? "correct" : "WRONG");
+}
+
+}  // namespace
+
+int main() {
+  const Shape shape{12, 20};
+  std::printf("systolic shifts of a matrix on a %s processor mesh:\n\n",
+              shape.to_string().c_str());
+  GrayEmbedding gray{Mesh(shape)};
+  run("Gray code", gray);
+  Planner planner;
+  PlanResult plan = planner.plan(shape);
+  run("decomposition (minimal cube)", *plan.embedding);
+  std::printf("\nplan: %s\n", plan.plan.c_str());
+  return 0;
+}

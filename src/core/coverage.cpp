@@ -1,0 +1,226 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace hj::coverage {
+
+u32 gray_excess_log2(const Shape& s) {
+  u32 bits = 0;
+  for (u32 i = 0; i < s.dims(); ++i) bits += log2_ceil(s[i]);
+  return bits - s.minimal_cube_dim();
+}
+
+bool method1_gray(u64 l1, u64 l2, u64 l3) {
+  return ceil_pow2(l1) * ceil_pow2(l2) * ceil_pow2(l3) ==
+         ceil_pow2(l1 * l2 * l3);
+}
+
+bool method2_pair(u64 l1, u64 l2, u64 l3) {
+  const u64 target = ceil_pow2(l1 * l2 * l3);
+  return ceil_pow2(l1 * l2) * ceil_pow2(l3) == target ||
+         ceil_pow2(l2 * l3) * ceil_pow2(l1) == target ||
+         ceil_pow2(l3 * l1) * ceil_pow2(l2) == target;
+}
+
+namespace {
+
+/// Smallest a with c * 2^a >= l.
+u32 min_pow_for(u64 l, u64 c) { return l <= c ? 0 : log2_ceil((l + c - 1) / c); }
+
+/// Can (l1,l2,l3) be extended axis-wise to (c0*2^a, c1*2^b, c2*2^c) while
+/// the product embedding's cube, 2^(base + a + b + c), stays minimal?
+/// Only the smallest exponents can work: any larger ones grow the cube.
+bool fits_extended_pattern(const u64 l[3], const u64 c[3], u32 base,
+                           u64 target) {
+  u32 total = base;
+  for (int i = 0; i < 3; ++i) total += min_pow_for(l[i], c[i]);
+  return total < 64 && (u64{1} << total) == target;
+}
+
+}  // namespace
+
+bool method3_small3d(u64 l1, u64 l2, u64 l3) {
+  const u64 l[3] = {l1, l2, l3};
+  const u64 target = ceil_pow2(l1 * l2 * l3);
+  // Extend each axis up to the next 3*2^a (or 7*2^a) and use the 3x3x3
+  // (or 3x3x7) direct embedding times Gray (Corollary 2 + Section 4.2
+  // strategy 3). The 3x3x3 product cube is 2^(5+a+b+c), the 3x3x7 cube
+  // 2^(6+a+b+c); both are automatically the minimal cube of the extended
+  // mesh, so the test is whether that cube is also minimal for (l1,l2,l3).
+  static constexpr u64 k333[3] = {3, 3, 3};
+  if (fits_extended_pattern(l, k333, 5, target)) return true;
+  for (int seven = 0; seven < 3; ++seven) {
+    const u64 c[3] = {seven == 0 ? u64{7} : u64{3},
+                      seven == 1 ? u64{7} : u64{3},
+                      seven == 2 ? u64{7} : u64{3}};
+    if (fits_extended_pattern(l, c, 6, target)) return true;
+  }
+  return false;
+}
+
+std::optional<SplitWitness> method4_split(u64 l1, u64 l2, u64 l3) {
+  const u64 l[3] = {l1, l2, l3};
+  const u64 target = ceil_pow2(l1 * l2 * l3);
+  for (u32 s = 0; s < 3; ++s) {
+    for (int swap = 0; swap < 2; ++swap) {
+      const u32 i = swap ? (s + 2) % 3 : (s + 1) % 3;
+      const u32 j = swap ? (s + 1) % 3 : (s + 2) % 3;
+      // Within a fixed value of ceil2(l_i * l'), the best l' is the
+      // largest (it minimizes l'' and hence the other factor), so only the
+      // power-of-two bucket boundaries l' = floor(2^p / l_i) need testing.
+      for (u64 cap = ceil_pow2(l[i]); cap <= target; cap <<= 1) {
+        const u64 lp = cap / l[i];
+        if (lp == 0) continue;
+        const u64 lpp = (l[s] + lp - 1) / lp;
+        if (ceil_pow2(l[i] * lp) * ceil_pow2(lpp * l[j]) == target)
+          return SplitWitness{s, i, j, lp, lpp};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+u32 first_method(u64 l1, u64 l2, u64 l3) {
+  if (method1_gray(l1, l2, l3)) return 1;
+  if (method2_pair(l1, l2, l3)) return 2;
+  if (method3_small3d(l1, l2, l3)) return 3;
+  if (method4_split(l1, l2, l3)) return 4;
+  return 0;
+}
+
+double SweepCounts::cumulative_percent(u32 i) const {
+  u64 covered = 0;
+  for (u32 m = 1; m <= i && m < 5; ++m) covered += by_method[m];
+  return total ? 100.0 * static_cast<double>(covered) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+SweepCounts sweep_3d(u32 n) {
+  require(n >= 1 && n <= 16, "sweep_3d: n out of range");
+  const u64 side = u64{1} << n;
+  SweepCounts counts;
+  counts.total = side * side * side;
+
+  // Enumerate sorted triples a <= b <= c and weight by the number of
+  // distinct permutations; every method is symmetric in the axes.
+  std::array<u64, 5> acc{};
+#if defined(_OPENMP)
+#pragma omp parallel
+  {
+    std::array<u64, 5> local{};
+#pragma omp for schedule(dynamic, 4)
+    for (i64 a = 1; a <= static_cast<i64>(side); ++a) {
+      for (u64 b = static_cast<u64>(a); b <= side; ++b) {
+        for (u64 c = b; c <= side; ++c) {
+          const u64 au = static_cast<u64>(a);
+          const u64 weight = (au == b && b == c) ? 1 : (au == b || b == c) ? 3 : 6;
+          local[first_method(au, b, c)] += weight;
+        }
+      }
+    }
+#pragma omp critical
+    for (u32 m = 0; m < 5; ++m) acc[m] += local[m];
+  }
+#else
+  for (u64 a = 1; a <= side; ++a)
+    for (u64 b = a; b <= side; ++b)
+      for (u64 c = b; c <= side; ++c) {
+        const u64 weight = (a == b && b == c) ? 1 : (a == b || b == c) ? 3 : 6;
+        acc[first_method(a, b, c)] += weight;
+      }
+#endif
+  counts.by_method = acc;
+  return counts;
+}
+
+namespace {
+
+/// Enumerate set partitions of {0..k-1} into blocks of size <= 3 and call
+/// `fn(blocks)`; stop early when fn returns true. Standard "assign element
+/// i to an existing open block or a new one" recursion.
+bool for_each_partition(u32 k, std::vector<std::vector<u32>>& blocks,
+                        u32 next, const std::function<bool(
+                            const std::vector<std::vector<u32>>&)>& fn) {
+  if (next == k) return fn(blocks);
+  // Index-based: recursion appends/removes trailing blocks, which would
+  // invalidate range-for references on reallocation.
+  const std::size_t existing = blocks.size();
+  for (std::size_t bi = 0; bi < existing; ++bi) {
+    if (blocks[bi].size() >= 3) continue;
+    blocks[bi].push_back(next);
+    if (for_each_partition(k, blocks, next + 1, fn)) {
+      blocks[bi].pop_back();
+      return true;
+    }
+    blocks[bi].pop_back();
+  }
+  blocks.push_back({next});
+  const bool hit = for_each_partition(k, blocks, next + 1, fn);
+  blocks.pop_back();
+  return hit;
+}
+
+}  // namespace
+
+bool covered_kd(const Shape& shape) {
+  const u32 k = shape.dims();
+  require(k >= 1 && k <= 6, "covered_kd: 1 <= k <= 6");
+  const u64 target = ceil_pow2(shape.num_nodes());
+  std::vector<std::vector<u32>> blocks;
+  return for_each_partition(
+      k, blocks, 0, [&](const std::vector<std::vector<u32>>& part) {
+        u64 prod = 1;
+        for (const auto& b : part) {
+          u64 block_nodes = 1;
+          for (u32 axis : b) block_nodes *= shape[axis];
+          prod *= ceil_pow2(block_nodes);
+          if (prod > target) return false;
+          if (b.size() == 3 &&
+              first_method(shape[b[0]], shape[b[1]], shape[b[2]]) == 0)
+            return false;
+        }
+        return prod == target;
+      });
+}
+
+KdSweep sweep_kd(u32 k, u32 n) {
+  require(k >= 1 && k <= 6, "sweep_kd: 1 <= k <= 6");
+  require(n >= 1 && n <= 16, "sweep_kd: n out of range");
+  const u64 side = u64{1} << n;
+  KdSweep out;
+  // Sorted tuples with multinomial weight k! / prod(run lengths!).
+  SmallVec<u64, 8> l(k, 1);
+  u64 factorial_k = 1;
+  for (u64 i = 2; i <= k; ++i) factorial_k *= i;
+  for (;;) {
+    u64 weight = factorial_k;
+    u64 run = 1;
+    for (u32 i = 1; i <= k; ++i) {
+      if (i < k && l[i] == l[i - 1]) {
+        ++run;
+      } else {
+        for (u64 r = 2; r <= run; ++r) weight /= r;
+        run = 1;
+      }
+    }
+    out.total += weight;
+    SmallVec<u64, 4> ext;
+    for (u32 i = 0; i < k; ++i) ext.push_back(l[i]);
+    if (covered_kd(Shape{ext})) out.covered += weight;
+    // Advance the sorted odometer.
+    u32 pos = k;
+    while (pos-- > 0) {
+      if (l[pos] < side) {
+        ++l[pos];
+        for (u32 j = pos + 1; j < k; ++j) l[j] = l[pos];
+        break;
+      }
+      if (pos == 0) return out;
+    }
+  }
+}
+
+}  // namespace hj::coverage

@@ -1,0 +1,100 @@
+// hjembed: coverage arithmetic for Section 5 / Figure 2.
+//
+// The paper's headline statistic counts, over all 3D meshes with
+// 1 <= l_i <= 2^n, how many admit a minimal-expansion dilation-<=2
+// embedding under a cumulative sequence of methods:
+//
+//   1. Gray code on all three axes.
+//   2. A dilation-2 2D embedding (modified line compression / Chan [4])
+//      of one axis pair, Gray on the third.
+//   3. The 3x3x3 or 3x3x7 direct embedding times a power-of-two Gray mesh
+//      (Corollary 2).
+//   4. Split one axis l into l' * l'' >= l and pair l' and l'' with the
+//      two other axes, each pair embedded by [4] (Corollary 2 again).
+//
+// Membership in each method is a pure arithmetic condition on the axis
+// lengths (the existence of the 2D embeddings is Chan's theorem); this
+// module evaluates those conditions and runs the full 512^3 sweep.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "core/shape.hpp"
+
+namespace hj::coverage {
+
+/// log2 of the relative expansion of Gray code on a k-D mesh:
+/// prod ceil2(l_i) / ceil2(prod l_i). Zero means Gray is minimal.
+[[nodiscard]] u32 gray_excess_log2(const Shape& s);
+
+/// Method 1: Gray code is minimal.
+[[nodiscard]] bool method1_gray(u64 l1, u64 l2, u64 l3);
+
+/// Method 2: some axis pair (a,b) satisfies
+/// ceil2(la*lb) * ceil2(lc) == ceil2(l1*l2*l3).
+[[nodiscard]] bool method2_pair(u64 l1, u64 l2, u64 l3);
+
+/// Method 3: {l1,l2,l3} is a permutation of {3*2^a, 3*2^b, 3*2^c} or
+/// {3*2^a, 3*2^b, 7*2^c}. (These products are automatically minimal.)
+[[nodiscard]] bool method3_small3d(u64 l1, u64 l2, u64 l3);
+
+/// Method 4: some axis l_s splits (with extension) as l' * l'' >= l_s with
+/// ceil2(l_i * l') * ceil2(l'' * l_j) == ceil2(l1*l2*l3), where i, j are
+/// the other two axes. Returns the witness (s, l', l'').
+struct SplitWitness {
+  u32 split_axis;  // the axis that was decomposed
+  u32 axis_lo;     // axis paired with l'
+  u32 axis_hi;     // axis paired with l''
+  u64 lp, lpp;     // l' and l''
+};
+[[nodiscard]] std::optional<SplitWitness> method4_split(u64 l1, u64 l2,
+                                                        u64 l3);
+
+/// The first (cheapest) method covering the mesh, or 0 if none of the four
+/// does. Matches the cumulative S_i sets of Figure 2.
+[[nodiscard]] u32 first_method(u64 l1, u64 l2, u64 l3);
+
+/// Counts for the Figure 2 sweep over all l1,l2,l3 in [1, 2^n].
+struct SweepCounts {
+  u64 total = 0;
+  /// by_method[m] = meshes whose first covering method is m (m in 1..4);
+  /// by_method[0] = not covered by any method.
+  std::array<u64, 5> by_method{};
+  /// Cumulative fraction S_i (percent) for i in 1..4.
+  [[nodiscard]] double cumulative_percent(u32 i) const;
+};
+
+/// Run the Figure 2 sweep for side 2^n (n <= 9 reproduces the paper).
+/// Exploits permutation symmetry; parallelized with OpenMP when available.
+[[nodiscard]] SweepCounts sweep_3d(u32 n);
+
+// --- k-dimensional generalization (the paper's Summary conjecture). ---
+
+/// Sufficient condition for a k-D mesh to have a minimal-expansion
+/// dilation-<=2 embedding using only the paper's 2-D and 3-D machinery:
+/// some partition of the axes into blocks of size <= 3 satisfies
+///   * singles embed by Gray (always),
+///   * pairs embed by Chan's 2-D theorem (always dilation 2, minimal for
+///     the pair),
+///   * triples are covered by methods 1-4 (first_method > 0),
+/// and the blocks' minimal cubes multiply to the k-D minimal cube
+/// (Corollary 1). Cross-block axis splitting is NOT attempted, so this
+/// undercounts slightly — a conservative bound on the conjecture.
+[[nodiscard]] bool covered_kd(const Shape& shape);
+
+struct KdSweep {
+  u64 total = 0;
+  u64 covered = 0;
+  [[nodiscard]] double percent() const {
+    return total ? 100.0 * static_cast<double>(covered) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Fraction of k-D meshes with 1 <= l_i <= 2^n satisfying covered_kd.
+/// Supported for 1 <= k <= 6 (partition enumeration is hard-bounded).
+[[nodiscard]] KdSweep sweep_kd(u32 k, u32 n);
+
+}  // namespace hj::coverage

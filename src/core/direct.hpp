@@ -1,0 +1,42 @@
+// hjembed: the paper's direct embeddings (Section 3.3).
+//
+// Five mesh shapes carry hand-crafted (here: search-generated, see
+// tools/gen_tables.cpp) dilation-2, congestion-2, minimal-expansion
+// embeddings that no Gray code or reshaping reaches:
+//
+//     2D: 3x5 -> Q4,  7x9 -> Q6,  11x11 -> Q7        [14]
+//     3D: 3x3x3 -> Q5,  3x3x7 -> Q6                  [13]
+//
+// Together with Gray code and the decomposition engine these seed the
+// Section 5 pipeline. The registry accepts any axis order and any number
+// of interspersed length-1 axes (a 5x1x3 guest uses the 3x5 table).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/embedding.hpp"
+
+namespace hj {
+
+/// The canonical shapes with built-in tables (sorted axis order).
+[[nodiscard]] const std::vector<Shape>& direct_table_shapes();
+
+/// True iff `shape` (up to axis permutation and length-1 axes) has a
+/// built-in direct table.
+[[nodiscard]] bool has_direct_embedding(const Shape& shape);
+
+/// A dilation-2 congestion-2 minimal-expansion embedding of `shape`, if a
+/// direct table covers it (up to axis permutation / length-1 axes).
+/// Returned embeddings are cached and shared; they are immutable.
+[[nodiscard]] std::optional<EmbeddingPtr> direct_embedding(const Shape& shape);
+
+/// Beyond-paper witnesses found by this library's search engine: shapes
+/// the paper lists as open (5x5x5) or does not tabulate (15x17, the next
+/// member of the (2^a-1) x (2^a+1) family after 3x5 and 7x9). Kept out of
+/// the default planner pipeline so the paper's own coverage stays
+/// measurable; see bench/exp_open_shapes.
+[[nodiscard]] const std::vector<Shape>& extra_table_shapes();
+[[nodiscard]] std::optional<EmbeddingPtr> extra_embedding(const Shape& shape);
+
+}  // namespace hj

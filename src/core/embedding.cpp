@@ -1,0 +1,60 @@
+#include "core/embedding.hpp"
+
+#include <algorithm>
+
+namespace hj {
+
+CubePath ExplicitEmbedding::edge_path(const MeshEdge& e) const {
+  const u64 key = path_key(e);
+  if (!paths_.empty()) {
+    assert(paths_sorted_);
+    auto it = std::lower_bound(
+        paths_.begin(), paths_.end(), key,
+        [](const auto& kv, u64 k) { return kv.first < k; });
+    if (it != paths_.end() && it->first == key) return it->second;
+  }
+  return Hypercube::ecube_path(map(e.a), map(e.b));
+}
+
+void ExplicitEmbedding::set_edge_path(const MeshEdge& e, CubePath path) {
+  require(!path.empty() && path.front() == map(e.a) && path.back() == map(e.b),
+          "set_edge_path: path endpoints must match the node map");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    require(Hypercube::adjacent(path[i], path[i + 1]),
+            "set_edge_path: path must follow cube edges");
+  const u64 key = path_key(e);
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), key,
+                             [](const auto& kv, u64 k) { return kv.first < k; });
+  if (it != paths_.end() && it->first == key)
+    it->second = std::move(path);
+  else
+    paths_.insert(it, {key, std::move(path)});
+}
+
+CubePath neighbor_route(const Embedding& emb, MeshIndex u, MeshIndex w) {
+  const Shape& s = emb.guest().shape();
+  const Coord cu = s.coord(u), cw = s.coord(w);
+  u32 axis = 0;
+  u32 diffs = 0;
+  for (u32 d = 0; d < s.dims(); ++d) {
+    if (cu[d] != cw[d]) {
+      axis = d;
+      ++diffs;
+    }
+  }
+  require(diffs == 1, "neighbor_route: nodes differ in exactly one axis");
+  const u64 lo = std::min(cu[axis], cw[axis]);
+  const u64 hi = std::max(cu[axis], cw[axis]);
+  const bool wrap = hi - lo > 1;  // the wrap edge joins coordinates 0, l-1
+  require(wrap ? (lo == 0 && hi == s[axis] - 1 && emb.guest().wraps(axis))
+               : hi - lo == 1,
+          "neighbor_route: not a guest edge");
+  const MeshIndex a = wrap ? (cu[axis] > cw[axis] ? u : w)
+                           : (cu[axis] < cw[axis] ? u : w);
+  const MeshIndex b = a == u ? w : u;
+  CubePath route = emb.edge_path(MeshEdge{a, b, axis, wrap});
+  if (a != u) route.reverse();
+  return route;
+}
+
+}  // namespace hj

@@ -1,0 +1,172 @@
+// hjembed: the embedding abstraction (Definition 1 of the paper).
+//
+// An embedding maps every guest mesh node to a cube node and every guest
+// edge to a cube path between the images of its endpoints. Embeddings are
+// represented behaviourally (virtual map/edge_path) so that the graph
+// decomposition engine can compose them without materializing node tables,
+// exactly mirroring the constructive proofs of Theorem 3 and Corollary 2.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/gray.hpp"
+#include "core/hypercube.hpp"
+#include "core/mesh.hpp"
+
+namespace hj {
+
+/// Base class for mesh-into-cube embeddings.
+///
+/// One-to-one embeddings (Sections 3-6) promise an injective map();
+/// many-to-one embeddings (Section 7) override one_to_one() to return
+/// false and are measured by load factor instead of expansion.
+class Embedding {
+ public:
+  Embedding(Mesh guest, u32 host_dim)
+      : guest_(std::move(guest)), host_dim_(host_dim) {
+    require(host_dim <= 63, "Embedding host dimension must be <= 63");
+  }
+
+  virtual ~Embedding() = default;
+
+  [[nodiscard]] const Mesh& guest() const noexcept { return guest_; }
+  [[nodiscard]] u32 host_dim() const noexcept { return host_dim_; }
+  [[nodiscard]] Hypercube host() const noexcept { return Hypercube(host_dim_); }
+
+  /// Image of guest node `idx` in the cube.
+  [[nodiscard]] virtual CubeNode map(MeshIndex idx) const = 0;
+
+  /// Cube path assigned to a guest edge, from map(e.a) to map(e.b).
+  /// The default routes along the dimension-ordered shortest path; concrete
+  /// embeddings override this when the paper's construction prescribes the
+  /// path (congestion guarantees depend on path choice, not only on the
+  /// node map).
+  [[nodiscard]] virtual CubePath edge_path(const MeshEdge& e) const {
+    return Hypercube::ecube_path(map(e.a), map(e.b));
+  }
+
+  /// False for the many-to-one embeddings of Section 7.
+  [[nodiscard]] virtual bool one_to_one() const noexcept { return true; }
+
+  /// expansion = |V(H)| / |V(G)| (Definition 1).
+  [[nodiscard]] double expansion() const noexcept {
+    return static_cast<double>(u64{1} << host_dim_) /
+           static_cast<double>(guest_.num_nodes());
+  }
+
+  /// True iff the host cube is minimal: n = ceil(log2 |V(G)|).
+  [[nodiscard]] bool minimal_expansion() const noexcept {
+    return host_dim_ == guest_.shape().minimal_cube_dim();
+  }
+
+  Embedding(const Embedding&) = delete;
+  Embedding& operator=(const Embedding&) = delete;
+
+ private:
+  Mesh guest_;
+  u32 host_dim_;
+};
+
+using EmbeddingPtr = std::shared_ptr<const Embedding>;
+
+/// The binary-reflected Gray code embedding (Section 3.1): axis i is
+/// encoded on ceil(log2 l_i) address bits; adjacent mesh nodes land on
+/// adjacent cube nodes (dilation one, congestion one) at the price of
+/// rounding every axis up to a power of two.
+///
+/// Axis 0 occupies the most significant bit field.
+class GrayEmbedding final : public Embedding {
+ public:
+  // Takes `guest` by const reference and copies: a by-value Mesh would be
+  // moved while its shape is still being read for the cube dimension
+  // (constructor argument evaluation order is unspecified).
+  explicit GrayEmbedding(const Mesh& guest)
+      : GrayEmbedding(guest.shape().gray_cube_dim(), guest) {}
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override {
+    const Shape& s = guest().shape();
+    CubeNode out = 0;
+    // Decode row-major index axis by axis, fastest axis first.
+    for (u32 i = s.dims(); i-- > 0;) {
+      const u64 c = idx % s[i];
+      idx /= s[i];
+      out |= gray(c) << shift_[i];
+    }
+    return out;
+  }
+
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override {
+    // Every Gray edge image has dilation one except a wrap edge of a
+    // power-of-two axis, which is also dilation one (the code is cyclic).
+    return Hypercube::ecube_path(map(e.a), map(e.b));
+  }
+
+ private:
+  GrayEmbedding(u32 host_dim, Mesh g) : Embedding(std::move(g), host_dim) {
+    const Shape& s = guest().shape();
+    shift_.assign(s.dims(), 0);
+    u32 acc = 0;
+    for (u32 i = s.dims(); i-- > 0;) {
+      shift_[i] = acc;
+      acc += log2_ceil(s[i]);
+    }
+    for (u32 i = 0; i < s.dims(); ++i) {
+      require(!guest().wraps(i) || is_pow2(s[i]) || s[i] <= 2,
+              "GrayEmbedding: wrapped axes must have power-of-two length "
+              "(use the torus module otherwise)");
+    }
+  }
+
+  SmallVec<u32, 4> shift_;
+};
+
+/// An embedding backed by an explicit node table and (optionally) explicit
+/// per-edge paths. Used for the paper's direct embeddings (3x5, 7x9, 11x11,
+/// 3x3x3, 3x3x7) and for anything produced by the search engine.
+class ExplicitEmbedding final : public Embedding {
+ public:
+  ExplicitEmbedding(Mesh guest, u32 host_dim, std::vector<CubeNode> node_map)
+      : Embedding(std::move(guest), host_dim), map_(std::move(node_map)) {
+    require(map_.size() == this->guest().num_nodes(),
+            "ExplicitEmbedding: node map size must equal guest node count");
+    const u64 cube = u64{1} << host_dim;
+    for (CubeNode v : map_)
+      require(v < cube, "ExplicitEmbedding: node map exceeds the cube");
+  }
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override {
+    return map_[idx];
+  }
+
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+
+  /// Prescribe the path for one edge. `path` must run from map(e.a) to
+  /// map(e.b) along cube edges; the verifier re-checks this.
+  void set_edge_path(const MeshEdge& e, CubePath path);
+
+  /// Raw access for table generation and serialization.
+  [[nodiscard]] const std::vector<CubeNode>& node_map() const noexcept {
+    return map_;
+  }
+
+ private:
+  [[nodiscard]] u64 path_key(const MeshEdge& e) const noexcept {
+    return e.a * guest().dims() + e.axis;
+  }
+
+  std::vector<CubeNode> map_;
+  // Sparse, keyed by (source node, axis); only dilation>=2 edges need an
+  // entry. Sorted vector keeps lookups cache-friendly and allocation-free
+  // after construction.
+  std::vector<std::pair<u64, CubePath>> paths_;
+  bool paths_sorted_ = true;
+};
+
+/// The cube route from mesh node `u` to its mesh neighbor `w`, following
+/// the embedding's assigned path for that edge (reversed as needed).
+/// `u` and `w` must be adjacent in the guest (wrap edges included).
+[[nodiscard]] CubePath neighbor_route(const Embedding& emb, MeshIndex u,
+                                      MeshIndex w);
+
+}  // namespace hj

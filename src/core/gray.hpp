@@ -1,0 +1,32 @@
+// hjembed: binary-reflected Gray codes (Section 3.1 of the paper).
+//
+// Encoding the index of each mesh axis with a binary-reflected Gray code
+// yields the classical dilation-one embedding of a mesh whose per-axis
+// rounded-up sizes multiply to the cube size [Johnsson 87, Reingold et al.].
+#pragma once
+
+#include "core/common.hpp"
+
+namespace hj {
+
+/// The i-th binary-reflected Gray codeword: consecutive integers map to
+/// addresses at Hamming distance one.
+[[nodiscard]] constexpr u64 gray(u64 i) noexcept { return i ^ (i >> 1); }
+
+/// Inverse of gray(): the rank of a codeword.
+[[nodiscard]] constexpr u64 gray_inverse(u64 g) noexcept {
+  u64 i = g;
+  for (u32 shift = 1; shift < 64; shift <<= 1) i ^= i >> shift;
+  return i;
+}
+
+/// The reflected Gray code G~(y, x) of Section 4 of the paper: the code of
+/// x when the copy index y is even, and the code of the reflected index
+/// 2^n - 1 - x when y is odd. Reflection makes consecutive copies of an
+/// inner axis meet at equal codewords, so axis boundaries cost no extra
+/// cube distance in the product construction.
+[[nodiscard]] constexpr u64 reflected_gray(u64 y, u64 x, u32 n) noexcept {
+  return (y & 1) == 0 ? gray(x) : gray(((u64{1} << n) - 1) - x);
+}
+
+}  // namespace hj

@@ -1,0 +1,134 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hj::io {
+namespace {
+
+bool is_default_route(const Embedding& emb, const MeshEdge& e,
+                      const CubePath& path) {
+  return path == Hypercube::ecube_path(emb.map(e.a), emb.map(e.b));
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const Embedding& emb) {
+  const Mesh& guest = emb.guest();
+  const Shape& s = guest.shape();
+  os << "hjembed 1\n";
+  os << "shape";
+  for (u32 i = 0; i < s.dims(); ++i) os << ' ' << s[i];
+  os << "\nwrap";
+  for (u32 i = 0; i < s.dims(); ++i) os << ' ' << (guest.wraps(i) ? 1 : 0);
+  os << "\ncube " << emb.host_dim() << "\n";
+  os << "map";
+  for (MeshIndex i = 0; i < guest.num_nodes(); ++i) os << ' ' << emb.map(i);
+  os << "\n";
+  guest.for_each_edge([&](const MeshEdge& e) {
+    const CubePath p = emb.edge_path(e);
+    if (is_default_route(emb, e, p)) return;
+    os << "path " << e.a << ' ' << e.axis << ' ' << (e.wrap ? 1 : 0);
+    for (CubeNode v : p) os << ' ' << v;
+    os << "\n";
+  });
+  os << "end\n";
+}
+
+std::string to_text(const Embedding& emb) {
+  std::ostringstream os;
+  write_text(os, emb);
+  return os.str();
+}
+
+std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
+  auto fail = [](const std::string& what) -> std::shared_ptr<ExplicitEmbedding> {
+    throw std::invalid_argument("hjembed io: " + what);
+  };
+
+  std::string word;
+  u32 version = 0;
+  if (!(is >> word >> version) || word != "hjembed" || version != 1)
+    return fail("bad header");
+
+  if (!(is >> word) || word != "shape") return fail("expected shape");
+  std::string line;
+  std::getline(is, line);
+  SmallVec<u64, 4> extents;
+  {
+    std::istringstream ls(line);
+    u64 v;
+    while (ls >> v) extents.push_back(v);
+  }
+  if (extents.empty()) return fail("empty shape");
+  const Shape shape{extents};
+
+  if (!(is >> word) || word != "wrap") return fail("expected wrap");
+  SmallVec<u8, 4> wrap;
+  for (u32 i = 0; i < shape.dims(); ++i) {
+    u32 w;
+    if (!(is >> w)) return fail("short wrap line");
+    wrap.push_back(static_cast<u8>(w != 0));
+  }
+  const Mesh guest(shape, wrap);
+
+  u32 cube = 0;
+  if (!(is >> word >> cube) || word != "cube") return fail("expected cube");
+
+  if (!(is >> word) || word != "map") return fail("expected map");
+  std::vector<CubeNode> map(guest.num_nodes());
+  for (CubeNode& v : map)
+    if (!(is >> v)) return fail("short node map");
+
+  auto emb = std::make_shared<ExplicitEmbedding>(guest, cube, std::move(map));
+
+  while (is >> word) {
+    if (word == "end") return emb;
+    if (word != "path") return fail("unexpected token '" + word + "'");
+    MeshIndex a;
+    u32 axis, wrapped;
+    if (!(is >> a >> axis >> wrapped)) return fail("short path header");
+    if (a >= guest.num_nodes() || axis >= shape.dims())
+      return fail("path header out of range");
+    std::getline(is, line);
+    CubePath p;
+    {
+      std::istringstream ls(line);
+      CubeNode v;
+      while (ls >> v) p.push_back(v);
+    }
+    // Reconstruct the edge this path belongs to.
+    const u64 stride = shape.stride(axis);
+    const u64 c = (a / stride) % shape[axis];
+    MeshIndex b;
+    if (wrapped) {
+      if (c != shape[axis] - 1) return fail("wrap path from non-border node");
+      b = a - (shape[axis] - 1) * stride;
+    } else {
+      if (c + 1 >= shape[axis]) return fail("path runs off the mesh");
+      b = a + stride;
+    }
+    emb->set_edge_path(MeshEdge{a, b, axis, wrapped != 0}, std::move(p));
+  }
+  return fail("missing end marker");
+}
+
+std::shared_ptr<ExplicitEmbedding> from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+void save(const Embedding& emb, const std::string& file) {
+  std::ofstream os(file);
+  require(os.good(), "io::save: cannot open file");
+  write_text(os, emb);
+  require(os.good(), "io::save: write failed");
+}
+
+std::shared_ptr<ExplicitEmbedding> load(const std::string& file) {
+  std::ifstream is(file);
+  require(is.good(), "io::load: cannot open file");
+  return read_text(is);
+}
+
+}  // namespace hj::io

@@ -1,0 +1,42 @@
+// hjembed: embedding serialization.
+//
+// A small line-oriented text format so found embeddings (search results,
+// planner output) can be stored, exchanged and reloaded without rerunning
+// the machinery. Reloading materializes an ExplicitEmbedding: the node map
+// plus every edge path whose route differs from the default e-cube route,
+// so all verified metrics (including congestion) survive the round trip.
+//
+//   hjembed 1
+//   shape 7x9
+//   wrap 0 0
+//   cube 6
+//   map 0 1 3 2 ...
+//   path <node-index> <axis> <wrap(0|1)> <cube-node> <cube-node> ...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/embedding.hpp"
+
+namespace hj::io {
+
+/// Serialize any embedding (the map and non-default paths are
+/// materialized by querying it).
+[[nodiscard]] std::string to_text(const Embedding& emb);
+void write_text(std::ostream& os, const Embedding& emb);
+
+/// Parse the text format. Throws std::invalid_argument on malformed
+/// input; the result is structurally validated (ExplicitEmbedding checks
+/// ranges, set_edge_path checks path continuity).
+[[nodiscard]] std::shared_ptr<ExplicitEmbedding> from_text(
+    const std::string& text);
+[[nodiscard]] std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is);
+
+/// File convenience wrappers.
+void save(const Embedding& emb, const std::string& file);
+[[nodiscard]] std::shared_ptr<ExplicitEmbedding> load(const std::string& file);
+
+}  // namespace hj::io

@@ -1,0 +1,223 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "core/coverage.hpp"
+#include "core/direct.hpp"
+#include "core/product.hpp"
+#include "core/router.hpp"
+
+namespace hj {
+namespace {
+
+std::vector<u64> divisors(u64 n) {
+  std::vector<u64> out;
+  for (u64 d = 1; d * d <= n; ++d) {
+    if (n % d) continue;
+    out.push_back(d);
+    if (d != n / d) out.push_back(n / d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+u64 product_of(const Shape& s) { return s.num_nodes(); }
+
+}  // namespace
+
+Planner::Planner(PlannerOptions opts) : opts_(opts) {}
+
+void Planner::set_direct_provider(DirectProvider provider) {
+  provider_ = std::move(provider);
+  memo_.clear();  // cached plans may improve with the provider attached
+}
+
+void Planner::consider(Entry& incumbent, Entry candidate) const {
+  if (!candidate.emb) return;
+  if (!incumbent.emb || candidate.cube < incumbent.cube ||
+      (candidate.cube == incumbent.cube && candidate.dil < incumbent.dil)) {
+    incumbent = std::move(candidate);
+  }
+}
+
+Planner::Entry Planner::gray_entry(const Shape& shape) const {
+  Entry e;
+  e.emb = std::make_shared<GrayEmbedding>(Mesh(shape));
+  e.desc = "gray " + shape.to_string();
+  e.cube = shape.gray_cube_dim();
+  e.dil = shape.num_nodes() > 1 ? 1 : 0;
+  return e;
+}
+
+Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
+  const std::string key = shape.to_string() + (may_extend ? "+" : "-");
+  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  // Seed the memo with the Gray fallback to cut recursion cycles short.
+  Entry incumbent = gray_entry(shape);
+  memo_[key] = incumbent;
+
+  const u32 minimal = shape.minimal_cube_dim();
+  if (incumbent.cube > minimal) {
+    // Direct table.
+    if (auto d = direct_embedding(shape)) {
+      Entry e;
+      e.emb = *d;
+      e.desc = "direct " + shape.to_string();
+      e.cube = (*d)->host_dim();
+      e.dil = 2;
+      consider(incumbent, std::move(e));
+    }
+    // Search provider.
+    if (incumbent.cube > minimal && provider_ &&
+        shape.num_nodes() <= opts_.provider_max_nodes) {
+      if (auto m = provider_(Mesh(shape), minimal)) {
+        auto emb =
+            std::make_shared<ExplicitEmbedding>(Mesh(shape), minimal, *m);
+        route_minimize_congestion(*emb);
+        Entry e;
+        e.emb = std::move(emb);
+        e.desc = "search " + shape.to_string();
+        e.cube = minimal;
+        e.dil = 2;
+        consider(incumbent, std::move(e));
+      }
+    }
+    if (incumbent.cube > minimal) try_factorizations(shape, incumbent);
+    if (incumbent.cube > minimal && may_extend && opts_.allow_extension) {
+      try_pattern_extension(shape, incumbent);
+      if (incumbent.cube > minimal) try_extensions(shape, incumbent);
+    }
+  }
+
+  memo_[key] = incumbent;
+  return incumbent;
+}
+
+void Planner::try_factorizations(const Shape& shape, Entry& incumbent) {
+  const u32 k = shape.dims();
+  std::vector<std::vector<u64>> divs(k);
+  for (u32 i = 0; i < k; ++i) divs[i] = divisors(shape[i]);
+
+  // Odometer over per-axis divisor choices for the first factor.
+  SmallVec<u32, 4> pick(k, 0);
+  for (;;) {
+    SmallVec<u64, 4> f1, f2;
+    u64 n1 = 1;
+    for (u32 i = 0; i < k; ++i) {
+      const u64 d = divs[i][pick[i]];
+      f1.push_back(d);
+      f2.push_back(shape[i] / d);
+      n1 *= d;
+    }
+    const u64 n2 = shape.num_nodes() / n1;
+    // Skip trivial splits and canonicalize (the pair is unordered; the
+    // lower-dilation factor is placed inner regardless).
+    if (n1 > 1 && n2 > 1 && n1 <= n2) {
+      Shape s1{f1}, s2{f2};
+      // Only useful when the factor cubes can sum to the minimal cube:
+      // both factors must be minimally embeddable for the product to be.
+      Entry e1 = best(s1, false);
+      Entry e2 = best(s2, false);
+      Entry e;
+      e.cube = e1.cube + e2.cube;
+      e.dil = std::max(e1.dil, e2.dil);
+      if (!incumbent.emb || e.cube < incumbent.cube ||
+          (e.cube == incumbent.cube && e.dil < incumbent.dil)) {
+        const Entry& inner = e1.dil <= e2.dil ? e1 : e2;
+        const Entry& outer = e1.dil <= e2.dil ? e2 : e1;
+        e.emb = std::make_shared<MeshProductEmbedding>(inner.emb, outer.emb);
+        e.desc = "(" + inner.desc + " * " + outer.desc + ")";
+        consider(incumbent, std::move(e));
+      }
+    }
+    // Advance the odometer.
+    u32 axis = 0;
+    while (axis < k && ++pick[axis] == divs[axis].size()) pick[axis++] = 0;
+    if (axis == k) break;
+  }
+}
+
+void Planner::try_extensions(const Shape& shape, Entry& incumbent) {
+  const u64 total = product_of(shape);
+  const u64 budget = ceil_pow2(total);
+  for (u32 i = 0; i < shape.dims(); ++i) {
+    const u64 rest = total / shape[i];
+    const u64 vmax = budget / rest;  // keep the extended mesh within the
+                                     // minimal cube of the original
+    for (u64 v = shape[i] + 1; v <= vmax; ++v) {
+      SmallVec<u64, 4> ext = shape.extents();
+      ext[i] = v;
+      Shape bigger{ext};
+      Entry grown = best(bigger, false);
+      Entry e;
+      e.cube = grown.cube;
+      e.dil = grown.dil;
+      if (grown.cube < incumbent.cube ||
+          (grown.cube == incumbent.cube && grown.dil < incumbent.dil)) {
+        e.emb = std::make_shared<SubmeshEmbedding>(grown.emb, shape);
+        e.desc = "sub<" + shape.to_string() + ">(" + grown.desc + ")";
+        consider(incumbent, std::move(e));
+      }
+    }
+  }
+}
+
+void Planner::try_pattern_extension(const Shape& shape, Entry& incumbent) {
+  // Multi-axis extension to the 3*2^a / 7*2^a patterns of Figure 2's
+  // method 3 (only meaningful for 3D shapes; other ranks skip).
+  if (shape.dims() != 3) return;
+  struct Pattern {
+    u64 c[3];
+    Shape table;
+  };
+  const std::vector<Pattern> patterns = {
+      {{3, 3, 3}, Shape{3, 3, 3}}, {{7, 3, 3}, Shape{7, 3, 3}},
+      {{3, 7, 3}, Shape{3, 7, 3}}, {{3, 3, 7}, Shape{3, 3, 7}},
+  };
+  for (const Pattern& p : patterns) {
+    SmallVec<u64, 4> inner_ext, outer_ext;
+    bool exact = true;
+    for (u32 i = 0; i < 3; ++i) {
+      const u64 li = shape[i];
+      const u64 pow = li <= p.c[i]
+                          ? 1
+                          : ceil_pow2((li + p.c[i] - 1) / p.c[i]);
+      inner_ext.push_back(pow);
+      outer_ext.push_back(p.c[i]);
+      if (pow * p.c[i] < li) exact = false;
+    }
+    if (!exact) continue;
+    auto table = direct_embedding(p.table);
+    if (!table) continue;
+    auto inner = std::make_shared<GrayEmbedding>(Mesh(Shape{inner_ext}));
+    const u32 cube = inner->host_dim() + (*table)->host_dim();
+    if (cube >= incumbent.cube) continue;
+    auto prod = std::make_shared<MeshProductEmbedding>(inner, *table);
+    Entry e;
+    e.cube = cube;
+    e.dil = 2;
+    e.emb = prod->guest().shape() == shape
+                ? EmbeddingPtr(prod)
+                : EmbeddingPtr(std::make_shared<SubmeshEmbedding>(prod, shape));
+    e.desc = "sub<" + shape.to_string() + ">(gray " +
+             Shape{inner_ext}.to_string() + " * direct " +
+             p.table.to_string() + ")";
+    consider(incumbent, std::move(e));
+  }
+}
+
+PlanResult Planner::plan(const Shape& shape) {
+  Entry e = best(shape, opts_.allow_extension);
+  PlanResult out;
+  out.embedding = e.emb;
+  out.report = verify(*e.emb);
+  out.plan = e.desc;
+  return out;
+}
+
+bool Planner::achieves_minimal_dil2(const Shape& shape) {
+  Entry e = best(shape, opts_.allow_extension);
+  return e.cube == shape.minimal_cube_dim() && e.dil <= 2;
+}
+
+}  // namespace hj

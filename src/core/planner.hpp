@@ -1,0 +1,92 @@
+// hjembed: the embedding planner — the Section 4.2 strategy, made
+// executable.
+//
+// Given a mesh shape, the planner assembles the best embedding it can
+// certify from the library's building blocks:
+//
+//   1. Gray code when the axis roundings already reach the minimal cube.
+//   2. A direct table (3x5, 7x9, 11x11, 3x3x3, 3x3x7, plus any shapes an
+//      attached search provider can solve).
+//   3. Graph decomposition: factor every axis and combine factor plans
+//      with Corollary 2 (this is the paper's contribution).
+//   4. Axis extension: embed the mesh as a submesh of a slightly larger,
+//      better-factorable mesh (e.g. 3x3x23 inside 3x3x25), including the
+//      multi-axis extension to 3*2^a / 7*2^a patterns behind Figure 2's
+//      method 3.
+//
+// All leaves have dilation 1 (Gray) or 2 (tables/search), and products
+// and submeshes preserve the maximum, so every plan has dilation <= 2;
+// what varies is whether the minimal cube is reached. The returned
+// embedding always carries a freshly verified certificate.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/verify.hpp"
+
+namespace hj {
+
+/// Hook for an external direct-embedding source (the search module): given
+/// a mesh and a cube dimension, return a dilation-2 node map or nothing.
+/// Kept as a callback so hj_core does not depend on hj_search.
+using DirectProvider =
+    std::function<std::optional<std::vector<CubeNode>>(const Mesh&, u32)>;
+
+struct PlannerOptions {
+  /// Try axis extensions (strategy 3 of Section 4.2).
+  bool allow_extension = true;
+  /// Guests at most this large are offered to the direct provider.
+  u64 provider_max_nodes = 150;
+};
+
+struct PlanResult {
+  EmbeddingPtr embedding;
+  /// Certified metrics (verify() is re-run on the final embedding).
+  VerifyReport report;
+  /// Human-readable derivation, e.g. "(direct 7x9x1 * gray 3x1x5) sub".
+  std::string plan;
+};
+
+/// Plans embeddings of (non-wrapped) meshes into minimal-or-near-minimal
+/// cubes. Not thread-safe; create one per thread. Results are memoized
+/// across calls, so reusing one planner amortizes sweeps.
+class Planner {
+ public:
+  explicit Planner(PlannerOptions opts = {});
+
+  /// Attach a search-based direct embedding source.
+  void set_direct_provider(DirectProvider provider);
+
+  /// Best certified embedding of `shape`. Always succeeds (Gray is always
+  /// available); inspect result.report for dilation / minimality.
+  [[nodiscard]] PlanResult plan(const Shape& shape);
+
+  /// True iff plan(shape) reaches the minimal cube with dilation <= 2.
+  [[nodiscard]] bool achieves_minimal_dil2(const Shape& shape);
+
+ private:
+  struct Entry {
+    EmbeddingPtr emb;
+    std::string desc;
+    u32 cube = 0;
+    u32 dil = 0;
+  };
+
+  Entry best(const Shape& shape, bool may_extend);
+  void consider(Entry& incumbent, Entry candidate) const;
+  Entry gray_entry(const Shape& shape) const;
+  void try_factorizations(const Shape& shape, Entry& incumbent);
+  void try_extensions(const Shape& shape, Entry& incumbent);
+  void try_pattern_extension(const Shape& shape, Entry& incumbent);
+
+  PlannerOptions opts_;
+  DirectProvider provider_;
+  std::unordered_map<std::string, Entry> memo_;
+};
+
+}  // namespace hj

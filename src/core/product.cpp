@@ -1,0 +1,197 @@
+#include "core/product.hpp"
+
+#include <algorithm>
+
+namespace hj {
+namespace {
+
+Mesh product_guest(const Embedding& inner, const Embedding& outer) {
+  require(!inner.guest().any_wrap() && !outer.guest().any_wrap(),
+          "MeshProductEmbedding: factor guests must not wrap "
+          "(the torus module composes wraparound meshes)");
+  return Mesh(inner.guest().shape() * outer.guest().shape());
+}
+
+}  // namespace
+
+MeshProductEmbedding::MeshProductEmbedding(EmbeddingPtr inner,
+                                           EmbeddingPtr outer)
+    : Embedding(product_guest(*inner, *outer),
+                inner->host_dim() + outer->host_dim()),
+      inner_(std::move(inner)),
+      outer_(std::move(outer)) {}
+
+MeshProductEmbedding::Split MeshProductEmbedding::split(MeshIndex idx) const {
+  const Shape& s = guest().shape();
+  const Shape& s1 = inner_->guest().shape();
+  const Coord z = s.coord(idx);
+  Split out;
+  out.x.resize(s.dims());
+  out.y.resize(s.dims());
+  out.parity.resize(s.dims());
+  for (u32 j = 0; j < s.dims(); ++j) {
+    const u64 l1 = s1[j];
+    const u64 y = z[j] / l1;
+    const u64 x = z[j] % l1;
+    out.y[j] = y;
+    out.parity[j] = y & 1;
+    out.x[j] = (y & 1) ? (l1 - 1 - x) : x;  // the reflection x' of Sec. 4.1
+  }
+  return out;
+}
+
+CubeNode MeshProductEmbedding::map(MeshIndex idx) const {
+  const Split sp = split(idx);
+  const MeshIndex xi = inner_->guest().shape().index(sp.x);
+  const MeshIndex yi = outer_->guest().shape().index(sp.y);
+  return combine(inner_->map(xi), outer_->map(yi));
+}
+
+CubePath MeshProductEmbedding::edge_path(const MeshEdge& e) const {
+  const Shape& s = guest().shape();
+  const Shape& s1 = inner_->guest().shape();
+  const Shape& s2 = outer_->guest().shape();
+  const u32 j = e.axis;
+  require(!e.wrap, "MeshProductEmbedding guests have no wrap edges");
+
+  // Normalize to the low-coordinate endpoint; reverse at the end if the
+  // caller's edge ran high-to-low.
+  const Coord ca = s.coord(e.a);
+  const Coord cb = s.coord(e.b);
+  const bool reversed = cb[j] < ca[j];
+  const MeshIndex low = reversed ? e.b : e.a;
+  require((reversed ? ca[j] - cb[j] : cb[j] - ca[j]) == 1,
+          "edge_path: not a mesh edge");
+
+  const Split sp = split(low);
+  const u64 l1 = s1[j];
+  const u64 x_low = s.coord(low)[j] % l1;
+
+  CubePath path;
+  if (x_low + 1 < l1) {
+    // M1-type edge: both endpoints live in the same (reflected) inner copy.
+    // In reflected coordinates the edge runs x' -> x'+1 when the copy index
+    // is even and x' -> x'-1 when odd.
+    const bool copy_odd = sp.parity[j] != 0;
+    Coord xa = sp.x;
+    const u64 lo_x = copy_odd ? xa[j] - 1 : xa[j];
+    Coord x_edge = xa;
+    x_edge[j] = lo_x;
+    const MeshIndex ia = s1.index(x_edge);
+    const MeshEdge inner_edge{ia, ia + s1.stride(j), j, false};
+    CubePath inner_path = inner_->edge_path(inner_edge);
+    if (copy_odd) inner_path.reverse();
+    const CubeNode outer_fixed = outer_->map(s2.index(sp.y));
+    for (CubeNode w : inner_path) path.push_back(combine(w, outer_fixed));
+  } else {
+    // M2-type edge: the inner images coincide (reflection!), the outer
+    // embedding carries the whole path.
+    const MeshIndex ya = s2.index(sp.y);
+    const MeshEdge outer_edge{ya, ya + s2.stride(j), j, false};
+    const CubePath outer_path = outer_->edge_path(outer_edge);
+    const CubeNode inner_fixed = inner_->map(s1.index(sp.x));
+    for (CubeNode w : outer_path) path.push_back(combine(inner_fixed, w));
+  }
+  if (reversed) path.reverse();
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+
+RelabelEmbedding::RelabelEmbedding(EmbeddingPtr base, Shape target,
+                                   SmallVec<u32, 4> axis_of_base)
+    : Embedding(Mesh(target), base->host_dim()),
+      base_(std::move(base)),
+      axis_of_base_(std::move(axis_of_base)) {
+  const Shape& sb = base_->guest().shape();
+  require(!base_->guest().any_wrap(),
+          "RelabelEmbedding: wraparound bases are not supported");
+  require(axis_of_base_.size() == sb.dims(),
+          "RelabelEmbedding: need one target axis per base axis");
+  base_of_axis_.assign(target.dims(), -1);
+  for (u32 i = 0; i < sb.dims(); ++i) {
+    const u32 t = axis_of_base_[i];
+    require(t < target.dims(), "RelabelEmbedding: axis out of range");
+    require(base_of_axis_[t] == -1, "RelabelEmbedding: duplicate target axis");
+    require(target[t] == sb[i], "RelabelEmbedding: axis length mismatch");
+    base_of_axis_[t] = static_cast<i32>(i);
+  }
+  for (u32 t = 0; t < target.dims(); ++t)
+    require(base_of_axis_[t] != -1 || target[t] == 1,
+            "RelabelEmbedding: unmapped target axis must have length 1");
+}
+
+std::shared_ptr<RelabelEmbedding> RelabelEmbedding::lift(EmbeddingPtr base,
+                                                         const Shape& target) {
+  const Shape sb = base->guest().shape();
+  SmallVec<u32, 4> axis_of_base;
+  u32 bi = 0;
+  for (u32 t = 0; t < target.dims() && bi < sb.dims(); ++t) {
+    if (target[t] == sb[bi]) {
+      axis_of_base.push_back(t);
+      ++bi;
+    } else {
+      require(target[t] == 1,
+              "RelabelEmbedding::lift: target axes must match base axes in "
+              "order, with 1s elsewhere");
+    }
+  }
+  require(bi == sb.dims(), "RelabelEmbedding::lift: base axes left over");
+  return std::make_shared<RelabelEmbedding>(std::move(base), target,
+                                            std::move(axis_of_base));
+}
+
+MeshIndex RelabelEmbedding::to_base(MeshIndex idx) const {
+  const Coord c = guest().shape().coord(idx);
+  const Shape& sb = base_->guest().shape();
+  Coord cb(sb.dims(), 0);
+  for (u32 i = 0; i < sb.dims(); ++i) cb[i] = c[axis_of_base_[i]];
+  return sb.index(cb);
+}
+
+CubeNode RelabelEmbedding::map(MeshIndex idx) const {
+  return base_->map(to_base(idx));
+}
+
+CubePath RelabelEmbedding::edge_path(const MeshEdge& e) const {
+  const i32 baxis = base_of_axis_[e.axis];
+  assert(baxis >= 0);  // length-1 axes have no edges
+  return base_->edge_path(
+      MeshEdge{to_base(e.a), to_base(e.b), static_cast<u32>(baxis), e.wrap});
+}
+
+// ---------------------------------------------------------------------------
+
+SubmeshEmbedding::SubmeshEmbedding(EmbeddingPtr base, Shape guest_shape)
+    : Embedding(Mesh(guest_shape), base->host_dim()), base_(std::move(base)) {
+  require(!base_->guest().any_wrap(),
+          "SubmeshEmbedding: wraparound bases are not supported");
+  require(guest_shape.fits_in(base_->guest().shape()),
+          "SubmeshEmbedding: guest must fit inside the base guest");
+}
+
+MeshIndex SubmeshEmbedding::to_base(MeshIndex idx) const {
+  return base_->guest().shape().index(guest().shape().coord(idx));
+}
+
+CubeNode SubmeshEmbedding::map(MeshIndex idx) const {
+  return base_->map(to_base(idx));
+}
+
+CubePath SubmeshEmbedding::edge_path(const MeshEdge& e) const {
+  require(!e.wrap, "SubmeshEmbedding guests have no wrap edges");
+  return base_->edge_path(MeshEdge{to_base(e.a), to_base(e.b), e.axis, false});
+}
+
+// ---------------------------------------------------------------------------
+
+EmbeddingPtr product_chain(std::vector<EmbeddingPtr> factors) {
+  require(!factors.empty(), "product_chain: need at least one factor");
+  EmbeddingPtr acc = std::move(factors.front());
+  for (std::size_t i = 1; i < factors.size(); ++i)
+    acc = std::make_shared<MeshProductEmbedding>(std::move(acc),
+                                                 std::move(factors[i]));
+  return acc;
+}
+
+}  // namespace hj

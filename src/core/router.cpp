@@ -1,0 +1,114 @@
+#include "core/router.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace hj {
+namespace {
+
+struct TwoHopEdge {
+  MeshEdge edge;
+  CubeNode a, b;     // endpoint images
+  CubeNode mid[2];   // the two candidate midpoints
+  u32 choice = 0;    // current midpoint index
+};
+
+class LinkLoads {
+ public:
+  void add(CubeNode x, CubeNode y, i32 delta) {
+    loads_[Hypercube::edge_key(x, y)] += delta;
+  }
+  [[nodiscard]] i32 get(CubeNode x, CubeNode y) const {
+    auto it = loads_.find(Hypercube::edge_key(x, y));
+    return it == loads_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] u32 max_load() const {
+    i32 m = 0;
+    for (const auto& [k, v] : loads_) m = std::max(m, v);
+    return static_cast<u32>(m);
+  }
+
+ private:
+  std::unordered_map<u64, i32> loads_;
+};
+
+/// Cost of routing through midpoint m given current loads (the midpoint's
+/// two links, scored by worst-then-sum so ties break toward balance).
+u64 midpoint_cost(const LinkLoads& loads, CubeNode a, CubeNode m, CubeNode b) {
+  const u32 l1 = static_cast<u32>(loads.get(a, m));
+  const u32 l2 = static_cast<u32>(loads.get(m, b));
+  return (u64{std::max(l1, l2)} << 32) | (l1 + l2);
+}
+
+}  // namespace
+
+RouteStats route_minimize_congestion(ExplicitEmbedding& emb, u32 max_passes) {
+  RouteStats stats;
+  LinkLoads loads;
+  std::vector<TwoHopEdge> twos;
+
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    const CubeNode a = emb.map(e.a), b = emb.map(e.b);
+    const u32 h = hamming(a, b);
+    if (h == 0) return;  // many-to-one collapse: no path
+    if (h == 1) {
+      loads.add(a, b, 1);
+      return;
+    }
+    if (h == 2) {
+      const u64 diff = a ^ b;
+      const u64 bit1 = diff & (~diff + 1);
+      const u64 bit2 = diff ^ bit1;
+      TwoHopEdge t{e, a, b, {a ^ bit1, a ^ bit2}, 0};
+      twos.push_back(t);
+      return;
+    }
+    // Longer edges: keep the default e-cube route, but load its links so
+    // midpoint choices below see them.
+    const CubePath p = Hypercube::ecube_path(a, b);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      loads.add(p[i], p[i + 1], 1);
+  });
+
+  // Greedy initial assignment, most-constrained (fewest fresh links) first
+  // is overkill here; simple order with cost-based choice works well.
+  for (TwoHopEdge& t : twos) {
+    t.choice = midpoint_cost(loads, t.a, t.mid[0], t.b) <=
+                       midpoint_cost(loads, t.a, t.mid[1], t.b)
+                   ? 0u
+                   : 1u;
+    loads.add(t.a, t.mid[t.choice], 1);
+    loads.add(t.mid[t.choice], t.b, 1);
+  }
+
+  // Local improvement: re-evaluate each choice with the edge removed.
+  for (u32 pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (TwoHopEdge& t : twos) {
+      loads.add(t.a, t.mid[t.choice], -1);
+      loads.add(t.mid[t.choice], t.b, -1);
+      const u32 best = midpoint_cost(loads, t.a, t.mid[0], t.b) <=
+                               midpoint_cost(loads, t.a, t.mid[1], t.b)
+                           ? 0u
+                           : 1u;
+      if (best != t.choice) {
+        t.choice = best;
+        changed = true;
+        ++stats.rerouted_edges;
+      }
+      loads.add(t.a, t.mid[t.choice], 1);
+      loads.add(t.mid[t.choice], t.b, 1);
+    }
+    stats.passes_used = pass + 1;
+    if (!changed) break;
+  }
+
+  for (const TwoHopEdge& t : twos)
+    emb.set_edge_path(t.edge, CubePath{t.a, t.mid[t.choice], t.b});
+
+  stats.congestion = loads.max_load();
+  return stats;
+}
+
+}  // namespace hj

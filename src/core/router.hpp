@@ -1,0 +1,27 @@
+// hjembed: congestion-aware path assignment.
+//
+// A node map fixes the dilation of every edge but not the congestion: a
+// dilation-2 edge has two candidate midpoints and the choice matters. The
+// paper's direct embeddings come with congestion-2 path assignments [13];
+// this router recovers such assignments for any node map by greedy
+// assignment followed by local-improvement passes.
+#pragma once
+
+#include "core/embedding.hpp"
+
+namespace hj {
+
+struct RouteStats {
+  u32 congestion = 0;       // after routing
+  u32 passes_used = 0;      // improvement passes actually run
+  u64 rerouted_edges = 0;   // switches made during improvement
+};
+
+/// Choose cube paths for every guest edge of `emb`, minimizing the maximum
+/// congestion. Dilation-1 edges are forced; dilation-2 edges pick one of
+/// their two midpoints; longer edges keep their default route but still
+/// count toward link loads. Paths are written back with set_edge_path().
+RouteStats route_minimize_congestion(ExplicitEmbedding& emb,
+                                     u32 max_passes = 16);
+
+}  // namespace hj

@@ -1,0 +1,37 @@
+#include "core/shape.hpp"
+
+#include <algorithm>
+
+namespace hj {
+
+Shape Shape::sorted() const {
+  SmallVec<u64, 4> e = ext_;
+  std::sort(e.begin(), e.end());
+  return Shape(std::move(e));
+}
+
+Shape Shape::squeezed() const {
+  SmallVec<u64, 4> e;
+  for (u64 x : ext_)
+    if (x > 1) e.push_back(x);
+  if (e.empty()) e.push_back(1);
+  return Shape(std::move(e));
+}
+
+Shape Shape::padded_to(u32 k) const {
+  require(k >= dims(), "padded_to: target rank below current rank");
+  SmallVec<u64, 4> e = ext_;
+  while (e.size() < k) e.push_back(1);
+  return Shape(std::move(e));
+}
+
+std::string Shape::to_string() const {
+  std::string s;
+  for (u32 i = 0; i < dims(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(ext_[i]);
+  }
+  return s;
+}
+
+}  // namespace hj

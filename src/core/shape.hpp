@@ -1,0 +1,133 @@
+// hjembed: k-dimensional mesh shapes and coordinate/index conversion.
+#pragma once
+
+#include <numeric>
+#include <string>
+
+#include "core/common.hpp"
+#include "core/small_vec.hpp"
+
+namespace hj {
+
+/// A k-dimensional coordinate. Axis i runs over [0, shape[i]).
+using Coord = SmallVec<u64, 4>;
+
+/// The extents of a k-dimensional mesh, e.g. Shape{3, 5} is a 3 x 5 mesh.
+///
+/// Linear indices are row-major with axis 0 slowest: the stride of the last
+/// axis is 1. This matches the paper's habit of writing an l1 x l2 x l3 mesh
+/// with l3 varying fastest.
+class Shape {
+ public:
+  Shape() = default;
+
+  Shape(std::initializer_list<u64> extents) : ext_(extents) { validate(); }
+
+  explicit Shape(SmallVec<u64, 4> extents) : ext_(std::move(extents)) {
+    validate();
+  }
+
+  /// Number of axes (k).
+  [[nodiscard]] u32 dims() const noexcept {
+    return static_cast<u32>(ext_.size());
+  }
+
+  /// Extent of axis `i`.
+  [[nodiscard]] u64 operator[](u32 i) const noexcept { return ext_[i]; }
+
+  [[nodiscard]] const SmallVec<u64, 4>& extents() const noexcept {
+    return ext_;
+  }
+
+  /// Total number of nodes (product of extents).
+  [[nodiscard]] u64 num_nodes() const noexcept {
+    u64 n = 1;
+    for (u64 e : ext_) n *= e;
+    return n;
+  }
+
+  /// Row-major stride of axis `i`.
+  [[nodiscard]] u64 stride(u32 i) const noexcept {
+    u64 s = 1;
+    for (u32 j = i + 1; j < dims(); ++j) s *= ext_[j];
+    return s;
+  }
+
+  /// Linear index of a coordinate.
+  [[nodiscard]] MeshIndex index(const Coord& c) const noexcept {
+    assert(c.size() == ext_.size());
+    MeshIndex idx = 0;
+    for (u32 i = 0; i < dims(); ++i) {
+      assert(c[i] < ext_[i]);
+      idx = idx * ext_[i] + c[i];
+    }
+    return idx;
+  }
+
+  /// Coordinate of a linear index.
+  [[nodiscard]] Coord coord(MeshIndex idx) const noexcept {
+    assert(idx < num_nodes());
+    Coord c(dims(), 0);
+    for (u32 i = dims(); i-- > 0;) {
+      c[i] = idx % ext_[i];
+      idx /= ext_[i];
+    }
+    return c;
+  }
+
+  /// Elementwise product of two shapes of equal rank; the shape of the
+  /// Cartesian product mesh in Corollary 2 (l_j = l1j * l2j).
+  [[nodiscard]] Shape operator*(const Shape& rhs) const {
+    require(dims() == rhs.dims(), "Shape product requires equal rank");
+    SmallVec<u64, 4> e;
+    for (u32 i = 0; i < dims(); ++i) e.push_back(ext_[i] * rhs.ext_[i]);
+    return Shape(std::move(e));
+  }
+
+  /// True iff this shape fits inside `outer` axis by axis (submesh relation).
+  [[nodiscard]] bool fits_in(const Shape& outer) const noexcept {
+    if (dims() != outer.dims()) return false;
+    for (u32 i = 0; i < dims(); ++i)
+      if (ext_[i] > outer.ext_[i]) return false;
+    return true;
+  }
+
+  /// Cube dimension needed by a per-axis Gray code: sum of ceil(log2 l_i).
+  [[nodiscard]] u32 gray_cube_dim() const noexcept {
+    u32 n = 0;
+    for (u64 e : ext_) n += log2_ceil(e);
+    return n;
+  }
+
+  /// Minimal cube dimension for any one-to-one embedding:
+  /// ceil(log2(num_nodes)).
+  [[nodiscard]] u32 minimal_cube_dim() const noexcept {
+    return log2_ceil(num_nodes());
+  }
+
+  /// Shape with the given axis lengths sorted ascending (meshes are
+  /// isomorphic under axis permutation).
+  [[nodiscard]] Shape sorted() const;
+
+  /// Shape with all length-1 axes removed (a 3x1x5 mesh is a 3x5 mesh).
+  [[nodiscard]] Shape squeezed() const;
+
+  /// Pad with length-1 axes on the right up to rank k.
+  [[nodiscard]] Shape padded_to(u32 k) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    return a.ext_ == b.ext_;
+  }
+
+ private:
+  void validate() const {
+    for (u64 e : ext_) require(e >= 1, "Shape extents must be >= 1");
+    require(ext_.size() >= 1, "Shape must have at least one axis");
+  }
+
+  SmallVec<u64, 4> ext_;
+};
+
+}  // namespace hj

@@ -1,0 +1,199 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace hj {
+namespace {
+
+constexpr std::size_t kMaxErrors = 8;
+
+void add_error(VerifyReport& r, std::string msg) {
+  r.valid = false;
+  if (r.errors.size() < kMaxErrors) r.errors.push_back(std::move(msg));
+}
+
+void bump(std::vector<u64>& hist, std::size_t bin) {
+  if (hist.size() <= bin) hist.resize(bin + 1, 0);
+  ++hist[bin];
+}
+
+/// Congestion accumulator: dense array for small cubes, hash map beyond.
+class CongestionCounter {
+ public:
+  explicit CongestionCounter(u32 dim) : dim_(dim) {
+    if (dim_ <= kDenseDimLimit && dim_ > 0)
+      dense_.assign((u64{1} << dim_) * dim_, 0);
+  }
+
+  void add(CubeNode a, CubeNode b) {
+    const CubeNode lo = a < b ? a : b;
+    const u32 bit = static_cast<u32>(std::countr_zero(a ^ b));
+    if (!dense_.empty())
+      ++dense_[lo * dim_ + bit];
+    else
+      ++sparse_[(lo << 6) | bit];
+  }
+
+  /// (max congestion, sum over used edges, count of used edges, histogram
+  /// over used edges). Unused edges are added to the histogram by the
+  /// caller, which knows |E(H)|.
+  void collect(u32& max_c, u64& sum, u64& used, std::vector<u64>& hist) const {
+    max_c = 0;
+    sum = 0;
+    used = 0;
+    auto account = [&](u64 c) {
+      if (c == 0) return;
+      max_c = std::max<u32>(max_c, static_cast<u32>(c));
+      sum += c;
+      ++used;
+      bump(hist, static_cast<std::size_t>(c));
+    };
+    if (!dense_.empty())
+      for (u32 c : dense_) account(c);
+    else
+      for (const auto& [k, c] : sparse_) account(c);
+  }
+
+ private:
+  static constexpr u32 kDenseDimLimit = 18;
+  u32 dim_;
+  std::vector<u32> dense_;
+  std::unordered_map<u64, u64> sparse_;
+};
+
+}  // namespace
+
+VerifyReport verify(const Embedding& emb) {
+  VerifyReport r;
+  const Mesh& guest = emb.guest();
+  const Hypercube host = emb.host();
+
+  r.guest_nodes = guest.num_nodes();
+  r.guest_edges = guest.num_edges();
+  r.host_dim = emb.host_dim();
+  r.expansion = emb.expansion();
+  r.minimal_expansion = emb.minimal_expansion();
+
+  // --- Node map: range, injectivity / load factor. ---
+  {
+    std::unordered_map<CubeNode, u64> load;
+    std::vector<u32> dense_load;
+    const bool dense = r.host_dim <= 26;
+    if (dense) dense_load.assign(u64{1} << r.host_dim, 0);
+    u64 max_load = 0;
+    for (MeshIndex i = 0; i < r.guest_nodes; ++i) {
+      const CubeNode v = emb.map(i);
+      if (!host.contains(v)) {
+        add_error(r, "node " + std::to_string(i) + " mapped outside the cube");
+        continue;
+      }
+      const u64 l = dense ? ++dense_load[v] : ++load[v];
+      max_load = std::max(max_load, l);
+    }
+    r.load_factor = max_load;
+    if (emb.one_to_one() && max_load > 1)
+      add_error(r, "embedding claims one-to-one but load factor is " +
+                       std::to_string(max_load));
+  }
+
+  // --- Edge paths: validity, dilation, congestion. ---
+  CongestionCounter cong(r.host_dim);
+  u64 dil_sum = 0;
+  u32 dil_max = 0;
+  u64 bad_paths = 0;
+  guest.for_each_edge([&](const MeshEdge& e) {
+    const CubePath p = emb.edge_path(e);
+    bool ok = !p.empty() && p.front() == emb.map(e.a) &&
+              p.back() == emb.map(e.b);
+    for (std::size_t i = 0; ok && i + 1 < p.size(); ++i)
+      ok = Hypercube::adjacent(p[i], p[i + 1]) && host.contains(p[i + 1]);
+    if (!ok) {
+      if (bad_paths++ == 0)
+        add_error(r, "invalid path for edge (" + std::to_string(e.a) + "," +
+                         std::to_string(e.b) + ") on axis " +
+                         std::to_string(e.axis));
+      return;
+    }
+    const u32 d = static_cast<u32>(p.size() - 1);
+    dil_sum += d;
+    dil_max = std::max(dil_max, d);
+    bump(r.dilation_histogram, d);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) cong.add(p[i], p[i + 1]);
+  });
+  if (bad_paths > 1)
+    add_error(r, std::to_string(bad_paths) + " invalid edge paths in total");
+
+  r.dilation = dil_max;
+  r.avg_dilation =
+      r.guest_edges ? static_cast<double>(dil_sum) /
+                          static_cast<double>(r.guest_edges)
+                    : 0.0;
+
+  u32 cmax = 0;
+  u64 csum = 0, cused = 0;
+  cong.collect(cmax, csum, cused, r.congestion_histogram);
+  r.congestion = cmax;
+  const u64 host_edges = host.num_edges();
+  if (!r.congestion_histogram.empty())
+    r.congestion_histogram[0] = host_edges - cused;
+  else if (host_edges > 0)
+    r.congestion_histogram.assign(1, host_edges);
+  r.avg_congestion =
+      host_edges ? static_cast<double>(csum) / static_cast<double>(host_edges)
+                 : 0.0;
+
+  return r;
+}
+
+bool verify_certified(const Embedding& emb, u32 max_dil, VerifyReport* out) {
+  VerifyReport r = verify(emb);
+  const bool ok = r.valid && r.dilation <= max_dil && r.minimal_expansion;
+  if (out) *out = std::move(r);
+  return ok;
+}
+
+std::string summary(const VerifyReport& r, const Embedding& emb) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s -> Q%u: exp %.3f%s, dil %u (avg %.3f), cong %u (avg "
+                "%.3f), load %llu%s",
+                emb.guest().shape().to_string().c_str(), r.host_dim,
+                r.expansion, r.minimal_expansion ? " (minimal)" : "",
+                r.dilation, r.avg_dilation, r.congestion, r.avg_congestion,
+                static_cast<unsigned long long>(r.load_factor),
+                r.valid ? "" : "  [INVALID]");
+  return std::string(buf);
+}
+
+std::string detailed_summary(const VerifyReport& r, const Embedding& emb) {
+  std::string out = summary(r, emb);
+  out += "\n  dilation histogram:   ";
+  for (std::size_t d = 0; d < r.dilation_histogram.size(); ++d) {
+    out += 'd';
+    out += std::to_string(d);
+    out += ':';
+    out += std::to_string(r.dilation_histogram[d]);
+    out += ' ';
+  }
+  out += "\n  congestion histogram: ";
+  for (std::size_t c = 0; c < r.congestion_histogram.size(); ++c) {
+    out += 'c';
+    out += std::to_string(c);
+    out += ':';
+    out += std::to_string(r.congestion_histogram[c]);
+    out += ' ';
+  }
+  out += '\n';
+  return out;
+}
+
+std::vector<i64> inverse_placement(const Embedding& emb) {
+  std::vector<i64> inv(u64{1} << emb.host_dim(), -1);
+  for (MeshIndex i = 0; i < emb.guest().num_nodes(); ++i)
+    inv[emb.map(i)] = static_cast<i64>(i);
+  return inv;
+}
+
+}  // namespace hj

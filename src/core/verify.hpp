@@ -1,0 +1,76 @@
+// hjembed: certified measurement of embeddings (Definitions 1-3, 5).
+//
+// Every embedding construction in this library is checked by this verifier
+// in the test suite, and the planner re-verifies what it returns. The
+// verifier trusts nothing: it walks every guest edge, re-validates the
+// assigned cube path, and measures dilation, congestion, expansion and
+// load factor exactly as the paper defines them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/embedding.hpp"
+
+namespace hj {
+
+/// Everything the paper measures about an embedding, plus the structural
+/// validity checks the definitions implicitly assume.
+struct VerifyReport {
+  /// True iff the embedding is structurally sound: the map stays inside
+  /// the cube, is injective when one_to_one() is claimed, and every edge
+  /// path is a real cube path between the images of the edge endpoints.
+  bool valid = true;
+  /// Human-readable reasons when !valid (capped at a few entries).
+  std::vector<std::string> errors;
+
+  u64 guest_nodes = 0;
+  u64 guest_edges = 0;
+  u32 host_dim = 0;
+
+  /// Definition 1. |V(H)| / |V(G)|.
+  double expansion = 0.0;
+  /// True iff the host is the minimal cube for the guest node count.
+  bool minimal_expansion = false;
+
+  /// Definition 2. Maximum, mean and distribution of edge-path lengths.
+  u32 dilation = 0;
+  double avg_dilation = 0.0;
+  std::vector<u64> dilation_histogram;  // histogram[d] = #edges of dilation d
+
+  /// Definition 3. Maximum and mean number of guest edge paths crossing a
+  /// cube edge. The mean is taken over all |E(H)| cube edges, as in the
+  /// paper's "average congestion is similarly defined".
+  u32 congestion = 0;
+  double avg_congestion = 0.0;
+  std::vector<u64> congestion_histogram;  // histogram[c] = #cube edges used c times
+
+  /// Definition 5. Maximum number of guest nodes sharing a cube node
+  /// (1 for a valid one-to-one embedding).
+  u64 load_factor = 0;
+};
+
+/// Measure (and validate) an embedding. Never throws on a bad embedding;
+/// inspect report.valid / report.errors.
+[[nodiscard]] VerifyReport verify(const Embedding& emb);
+
+/// Convenience: verify and require structural validity, dilation <= max_dil
+/// and minimal expansion; used in tests and by the planner's certificates.
+[[nodiscard]] bool verify_certified(const Embedding& emb, u32 max_dil,
+                                    VerifyReport* out = nullptr);
+
+/// One-line summary, e.g.
+/// "7x9 -> Q6: exp 1.016 (minimal), dil 2 (avg 1.08), cong 2 (avg 0.61)".
+[[nodiscard]] std::string summary(const VerifyReport& r,
+                                  const Embedding& emb);
+
+/// Multi-line report with the dilation and congestion histograms.
+[[nodiscard]] std::string detailed_summary(const VerifyReport& r,
+                                           const Embedding& emb);
+
+/// Inverse placement table: for every cube node, the guest index mapped
+/// there, or -1 for unused nodes. For many-to-one embeddings the last
+/// guest index (in index order) wins; use load_factor to detect sharing.
+[[nodiscard]] std::vector<i64> inverse_placement(const Embedding& emb);
+
+}  // namespace hj

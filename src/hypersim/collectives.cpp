@@ -1,0 +1,55 @@
+#include "hypersim/collectives.hpp"
+
+#include <queue>
+
+namespace hj::sim {
+
+Schedule binomial_broadcast(u32 cube_dim, CubeNode root) {
+  require(cube_dim <= 30, "binomial_broadcast: cube too large");
+  require(root < (u64{1} << cube_dim), "binomial_broadcast: root outside");
+  Schedule out;
+  // delivered[v] = index of the message that delivered v (-1 for root).
+  std::vector<i64> delivered(u64{1} << cube_dim, -2);
+  delivered[root] = -1;
+  std::vector<CubeNode> holders{root};
+  for (u32 r = 0; r < cube_dim; ++r) {
+    const std::size_t wave = holders.size();
+    for (std::size_t i = 0; i < wave; ++i) {
+      const CubeNode from = holders[i];
+      const CubeNode to = from ^ (u64{1} << r);
+      out.push_back({CubePath{from, to}, delivered[from]});
+      delivered[to] = static_cast<i64>(out.size()) - 1;
+      holders.push_back(to);
+    }
+  }
+  return out;
+}
+
+Schedule mesh_flood_broadcast(const Embedding& emb, MeshIndex root) {
+  const Mesh& mesh = emb.guest();
+  require(root < mesh.num_nodes(), "mesh_flood_broadcast: root outside");
+  Schedule out;
+  std::vector<i64> delivered(mesh.num_nodes(), -2);
+  delivered[root] = -1;
+  std::queue<MeshIndex> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const MeshIndex u = frontier.front();
+    frontier.pop();
+    for (MeshIndex w : mesh.neighbors(u)) {
+      if (delivered[w] != -2) continue;
+      out.push_back({neighbor_route(emb, u, w), delivered[u]});
+      delivered[w] = static_cast<i64>(out.size()) - 1;
+      frontier.push(w);
+    }
+  }
+  return out;
+}
+
+SimResult run_schedule(const Schedule& schedule, SimConfig config) {
+  CubeNetwork net(config);
+  for (const ScheduledMessage& m : schedule) net.add_message(m.route, m.after);
+  return net.run();
+}
+
+}  // namespace hj::sim

@@ -1,0 +1,49 @@
+// hjembed: collective-communication schedules on the cube network.
+//
+// The paper's reference [15] (Johnsson, "Communication efficient basic
+// linear algebra computations on hypercube architectures") builds its
+// kernels from a few collective patterns. This module generates those
+// schedules as dependent message sets for the simulator:
+//
+//   * binomial_broadcast — the spanning-binomial-tree broadcast native to
+//     the cube: n rounds for 2^n nodes, each round doubling the holders.
+//   * mesh_flood_broadcast — a broadcast that only uses mesh-logical
+//     channels of an embedding (each node forwards to its mesh neighbors),
+//     i.e. what an application restricted to the mesh abstraction can do.
+//
+// Comparing the two quantifies the cost of staying inside the mesh
+// abstraction versus dropping to native cube communication — exactly the
+// design space the embedding machinery sits in.
+#pragma once
+
+#include "hypersim/network.hpp"
+
+namespace hj::sim {
+
+/// A message with an optional dependency: it may start only after the
+/// message with index `after` (into the same schedule) completes.
+struct ScheduledMessage {
+  CubePath route;
+  i64 after = -1;  // -1: starts immediately
+};
+
+using Schedule = std::vector<ScheduledMessage>;
+
+/// Spanning-binomial-tree broadcast from `root` to every node of Q_n.
+/// Round r sends from every holder across cube dimension r: n dependent
+/// waves, each message one hop. Completes in exactly n * flits cycles
+/// (store-and-forward, bandwidth 1, no contention by construction).
+[[nodiscard]] Schedule binomial_broadcast(u32 cube_dim, CubeNode root);
+
+/// Mesh-logical flood broadcast on an embedding: BFS over the guest mesh
+/// from `root`; each tree edge becomes a message along the embedding's
+/// path for that edge, dependent on the message that delivered the parent.
+[[nodiscard]] Schedule mesh_flood_broadcast(const Embedding& emb,
+                                            MeshIndex root);
+
+/// Run a dependent schedule on a network configuration; returns the usual
+/// SimResult (cycles until the last message lands).
+[[nodiscard]] SimResult run_schedule(const Schedule& schedule,
+                                     SimConfig config);
+
+}  // namespace hj::sim

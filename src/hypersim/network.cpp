@@ -1,0 +1,182 @@
+#include "hypersim/network.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hj::sim {
+namespace {
+
+/// Directed link id: source node * dim + flipped bit.
+u64 link_id(CubeNode from, CubeNode to, u32 dim) {
+  assert(Hypercube::adjacent(from, to));
+  return from * dim + static_cast<u64>(std::countr_zero(from ^ to));
+}
+
+}  // namespace
+
+CubeNetwork::CubeNetwork(SimConfig config) : config_(config) {
+  require(config_.cube_dim <= 30, "CubeNetwork: cube too large to simulate");
+  require(config_.link_bandwidth >= 1, "CubeNetwork: bandwidth must be >= 1");
+  require(config_.message_flits >= 1, "CubeNetwork: empty messages");
+}
+
+u64 CubeNetwork::add_message(CubePath route, i64 after) {
+  const Hypercube host(config_.cube_dim);
+  require(!route.empty(), "add_message: empty route");
+  require(after < static_cast<i64>(routes_.size()),
+          "add_message: dependency on a message not yet queued");
+  for (std::size_t i = 0; i + 1 < route.size(); ++i)
+    require(host.contains(route[i]) &&
+                Hypercube::adjacent(route[i], route[i + 1]),
+            "add_message: route must follow cube links");
+  routes_.push_back(std::move(route));
+  deps_.push_back(after);
+  return routes_.size() - 1;
+}
+
+void CubeNetwork::add_stencil_exchange(const Embedding& emb) {
+  require(emb.host_dim() == config_.cube_dim,
+          "add_stencil_exchange: embedding host does not match the network");
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    CubePath fwd = emb.edge_path(e);
+    if (fwd.size() < 2) return;  // contracted edge: same processor
+    CubePath rev = fwd;
+    rev.reverse();
+    routes_.push_back(std::move(fwd));
+    deps_.push_back(-1);
+    routes_.push_back(std::move(rev));
+    deps_.push_back(-1);
+  });
+}
+
+void CubeNetwork::add_axis_shift(const Embedding& emb, u32 axis) {
+  require(emb.host_dim() == config_.cube_dim,
+          "add_axis_shift: embedding host does not match the network");
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    if (e.axis != axis) return;
+    CubePath p = emb.edge_path(e);
+    if (p.size() < 2) return;
+    routes_.push_back(std::move(p));
+    deps_.push_back(-1);
+  });
+}
+
+void CubeNetwork::add_broadcast(const Embedding& emb, MeshIndex root) {
+  require(emb.host_dim() == config_.cube_dim,
+          "add_broadcast: embedding host does not match the network");
+  const CubeNode src = emb.map(root);
+  for (MeshIndex i = 0; i < emb.guest().num_nodes(); ++i) {
+    if (i == root) continue;
+    const CubeNode dst = emb.map(i);
+    if (dst == src) continue;
+    routes_.push_back(Hypercube::ecube_path(src, dst));
+    deps_.push_back(-1);
+  }
+}
+
+SimResult CubeNetwork::run() {
+  SimResult result;
+  result.messages = routes_.size();
+  result.switching = config_.switching;
+  result.message_flits = config_.message_flits;
+  result.link_bandwidth = config_.link_bandwidth;
+
+  const u32 dim = std::max(config_.cube_dim, 1u);
+  const u32 flits = config_.message_flits;
+
+  // Static route statistics.
+  std::unordered_map<u64, u32> static_load;
+  for (const CubePath& r : routes_) {
+    result.total_hops += r.size() - 1;
+    result.max_route_len =
+        std::max<u32>(result.max_route_len, static_cast<u32>(r.size() - 1));
+    for (std::size_t i = 0; i + 1 < r.size(); ++i)
+      result.max_link_load = std::max(
+          result.max_link_load, ++static_load[link_id(r[i], r[i + 1], dim)]);
+  }
+
+  // Flit-level simulation. crossed[m][h] = flits of message m that have
+  // crossed hop h. A flit may cross hop h this cycle when
+  //   * it exists at the upstream node: crossed[h] < crossed[h-1]
+  //     (crossed[-1] == flits: the whole train starts at the source), and
+  //   * under store-and-forward, the entire train is upstream:
+  //     crossed[h-1] == flits, and
+  //   * link h has spare bandwidth this cycle.
+  // Hops are served destination-first so a flit never moves twice per
+  // cycle; messages are served in id order (deterministic arbitration).
+  const bool cut_through = config_.switching == Switching::CutThrough;
+  std::vector<std::vector<u32>> crossed(routes_.size());
+  // Dependency bookkeeping: children[m] are released when m completes.
+  std::vector<std::vector<u32>> children(routes_.size());
+  std::vector<bool> done(routes_.size(), false);
+  std::vector<u32> active;
+  std::vector<u32> roots;
+  for (u32 m = 0; m < routes_.size(); ++m) {
+    crossed[m].assign(routes_[m].size() - 1, 0);
+    if (deps_[m] >= 0)
+      children[static_cast<u32>(deps_[m])].push_back(m);
+    else
+      roots.push_back(m);
+  }
+  // Release a message: zero-hop messages complete instantly and cascade.
+  const auto release = [&](u32 m, std::vector<u32>& out,
+                           const auto& self) -> void {
+    if (!crossed[m].empty()) {
+      out.push_back(m);
+      return;
+    }
+    done[m] = true;
+    for (u32 c : children[m]) self(c, out, self);
+  };
+  for (u32 m : roots) release(m, active, release);
+
+  std::unordered_map<u64, u32> used_this_cycle;
+  used_this_cycle.reserve(static_load.size());
+  while (!active.empty() && result.cycles < config_.max_cycles) {
+    ++result.cycles;
+    used_this_cycle.clear();
+    std::vector<u32> still_active;
+    still_active.reserve(active.size());
+    for (u32 m : active) {
+      const CubePath& r = routes_[m];
+      auto& c = crossed[m];
+      const u32 hops = static_cast<u32>(c.size());
+      for (u32 h = hops; h-- > 0;) {
+        const u32 upstream = h == 0 ? flits : c[h - 1];
+        if (c[h] >= flits || c[h] >= upstream) continue;
+        if (!cut_through && upstream < flits) continue;
+        u32& used = used_this_cycle[link_id(r[h], r[h + 1], dim)];
+        if (used >= config_.link_bandwidth) continue;
+        ++used;
+        ++c[h];
+      }
+      if (c[hops - 1] < flits) {
+        still_active.push_back(m);
+      } else {
+        done[m] = true;
+        for (u32 child : children[m])
+          release(child, still_active, release);
+      }
+    }
+    active.swap(still_active);
+  }
+
+  result.slowdown_vs_bound =
+      result.messages == 0
+          ? 1.0
+          : static_cast<double>(result.cycles) /
+                static_cast<double>(std::max<u64>(1, result.lower_bound()));
+  routes_.clear();
+  deps_.clear();
+  return result;
+}
+
+SimResult simulate_stencil(const Embedding& emb, u32 link_bandwidth,
+                           Switching sw, u32 flits) {
+  CubeNetwork net(
+      SimConfig{emb.host_dim(), link_bandwidth, 1'000'000, sw, flits});
+  net.add_stencil_exchange(emb);
+  return net.run();
+}
+
+}  // namespace hj::sim

@@ -1,0 +1,116 @@
+// hjembed: a synchronous flit-level Boolean-cube network simulator.
+//
+// The paper targets iPSC/nCUBE-era hypercube multiprocessors, which we do
+// not have; this substrate simulates the communication behaviour that
+// makes dilation, congestion and expansion matter. Model:
+//
+//   * 2^n nodes; each pair at Hamming distance one is joined by two
+//     directed links (one per direction).
+//   * Messages are trains of `message_flits` flits following a fixed route
+//     (the embedding's edge paths). A directed link moves at most
+//     `link_bandwidth` flits per cycle; buffers are unbounded.
+//   * Switching:
+//       StoreAndForward — a message must fully arrive at a node before its
+//         first flit leaves it (the paper-era iPSC discipline). Per-hop
+//         cost ~ message length: dilation multiplies the latency.
+//       CutThrough — a flit may leave a node one cycle after arriving
+//         (virtual cut-through): the train pipelines across the route and
+//         dilation adds only ~1 cycle per extra hop.
+//   * Arbitration is deterministic: lower message id first, flits closest
+//     to the destination first (no flit moves twice per cycle).
+//
+// The quality of an embedding shows up directly: dilation stretches routes
+// (latency, amplified by message size under store-and-forward), congestion
+// serializes them (bandwidth), and expansion idles processors.
+#pragma once
+
+#include <vector>
+
+#include "core/embedding.hpp"
+
+namespace hj::sim {
+
+enum class Switching : u8 { StoreAndForward, CutThrough };
+
+struct SimConfig {
+  u32 cube_dim = 0;
+  /// Flits one directed link can carry per cycle.
+  u32 link_bandwidth = 1;
+  /// Safety stop; a drained run always ends far earlier.
+  u64 max_cycles = 1'000'000;
+  Switching switching = Switching::StoreAndForward;
+  /// Flits per message (message length).
+  u32 message_flits = 1;
+};
+
+struct SimResult {
+  /// Cycles until every flit of every message arrived.
+  u64 cycles = 0;
+  u64 messages = 0;
+  u64 total_hops = 0;  // route hops summed over messages (not x flits)
+  /// Static load: max messages routed over one directed link.
+  u32 max_link_load = 0;
+  /// Longest route in hops.
+  u32 max_route_len = 0;
+  Switching switching = Switching::StoreAndForward;
+  u32 message_flits = 1;
+  u32 link_bandwidth = 1;
+
+  /// A simple schedule lower bound for the configured switching mode.
+  [[nodiscard]] u64 lower_bound() const {
+    const u64 serial = (u64{max_link_load} * message_flits + link_bandwidth -
+                        1) /
+                       link_bandwidth;
+    const u64 latency =
+        switching == Switching::StoreAndForward
+            ? u64{max_route_len} * message_flits
+            : max_route_len == 0 ? 0 : max_route_len + message_flits - 1;
+    return std::max(latency, serial);
+  }
+  /// cycles / lower_bound: 1.0 means the schedule is provably optimal.
+  double slowdown_vs_bound = 0.0;
+};
+
+/// The simulator. Add routed messages, then run() to completion.
+class CubeNetwork {
+ public:
+  explicit CubeNetwork(SimConfig config);
+
+  /// Queue a message along a fixed cube route (consecutive nodes must be
+  /// cube-adjacent). Zero-length routes complete instantly. Returns the
+  /// message id. With `after` >= 0 the message is held until the message
+  /// with that id completes (dependent schedules, e.g. broadcast trees).
+  u64 add_message(CubePath route, i64 after = -1);
+
+  /// Queue one message per mesh edge of `emb`, in both directions — the
+  /// classic stencil neighbor exchange of an SOR/Jacobi sweep.
+  void add_stencil_exchange(const Embedding& emb);
+
+  /// Queue messages shifting along one mesh axis (CSHIFT), one per node
+  /// with a successor on that axis, in the + direction.
+  void add_axis_shift(const Embedding& emb, u32 axis);
+
+  /// Queue a naive broadcast: one message from the mesh node `root` to
+  /// every other mesh node, each along the e-cube route between the
+  /// images. (A deliberately congestion-heavy workload.)
+  void add_broadcast(const Embedding& emb, MeshIndex root);
+
+  /// Run to completion (or max_cycles) and reset the message list.
+  [[nodiscard]] SimResult run();
+
+  [[nodiscard]] u64 pending() const noexcept { return routes_.size(); }
+
+ private:
+  SimConfig config_;
+  std::vector<CubePath> routes_;
+  std::vector<i64> deps_;
+};
+
+/// One-call helper: stencil exchange on an embedding.
+[[nodiscard]] SimResult simulate_stencil(const Embedding& emb,
+                                         u32 link_bandwidth = 1,
+                                         Switching sw =
+                                             Switching::StoreAndForward,
+                                         u32 flits = 1);
+
+}  // namespace hj::sim

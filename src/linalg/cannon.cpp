@@ -1,0 +1,178 @@
+#include "linalg/cannon.hpp"
+
+#include <algorithm>
+
+namespace hj::la {
+namespace {
+
+/// A tile of the distributed matrix.
+using Tile = std::vector<double>;
+
+/// The cube route moving a tile one step along `axis` in the decreasing
+/// direction (c -> c-1, cyclically): the embedding's path for that mesh
+/// edge, or the direct cube route when the guest has no wrap channel.
+CubePath shift_route(const Embedding& emb, const Shape& grid, u64 r, u64 c,
+                     u32 axis) {
+  Coord from(2, 0);
+  from[0] = r;
+  from[1] = c;
+  Coord to = from;
+  const u64 len = grid[axis];
+  const bool wraps_back = from[axis] == 0;
+  to[axis] = wraps_back ? len - 1 : from[axis] - 1;
+  if (wraps_back && !(emb.guest().wraps(axis) && len > 2)) {
+    // No wrap channel: route across the cube directly.
+    return Hypercube::ecube_path(emb.map(grid.index(from)),
+                                 emb.map(grid.index(to)));
+  }
+  if (len == 2) {
+    return emb.edge_path(
+        MeshEdge{grid.index(Coord{axis == 0 ? u64{0} : r,
+                                  axis == 1 ? u64{0} : c}),
+                 grid.index(Coord{axis == 0 ? u64{1} : r,
+                                  axis == 1 ? u64{1} : c}),
+                 axis, false});
+  }
+  return neighbor_route(emb, grid.index(from), grid.index(to));
+}
+
+void local_multiply_accumulate(Tile& c, const Tile& a, const Tile& b,
+                               u64 t) {
+  for (u64 i = 0; i < t; ++i)
+    for (u64 k = 0; k < t; ++k) {
+      const double aik = a[i * t + k];
+      for (u64 j = 0; j < t; ++j) c[i * t + j] += aik * b[k * t + j];
+    }
+}
+
+}  // namespace
+
+std::vector<double> reference_multiply(u64 m, const std::vector<double>& A,
+                                       const std::vector<double>& B) {
+  std::vector<double> C(m * m, 0.0);
+  for (u64 i = 0; i < m; ++i)
+    for (u64 k = 0; k < m; ++k) {
+      const double aik = A[i * m + k];
+      for (u64 j = 0; j < m; ++j) C[i * m + j] += aik * B[k * m + j];
+    }
+  return C;
+}
+
+CannonResult cannon_multiply(const Embedding& emb, u64 m,
+                             const std::vector<double>& A,
+                             const std::vector<double>& B,
+                             u32 flits_per_tile, sim::Switching sw) {
+  const Shape& grid = emb.guest().shape();
+  require(grid.dims() == 2 && grid[0] == grid[1],
+          "cannon_multiply: needs a square 2-D processor grid");
+  const u64 p = grid[0];
+  require(m % p == 0, "cannon_multiply: m must be a multiple of p");
+  require(A.size() == m * m && B.size() == m * m,
+          "cannon_multiply: matrix size mismatch");
+  const u64 t = m / p;
+
+  // Distribute: tile (r, c) of A and B to processor (r, c). Tiles are
+  // indexed by mesh index, i.e. they "live on" the embedded cube node.
+  const u64 procs = grid.num_nodes();
+  std::vector<Tile> a(procs, Tile(t * t)), b(procs, Tile(t * t)),
+      c(procs, Tile(t * t, 0.0));
+  for (u64 r = 0; r < p; ++r)
+    for (u64 col = 0; col < p; ++col) {
+      const u64 idx = grid.index(Coord{r, col});
+      for (u64 i = 0; i < t; ++i)
+        for (u64 j = 0; j < t; ++j) {
+          a[idx][i * t + j] = A[(r * t + i) * m + col * t + j];
+          b[idx][i * t + j] = B[(r * t + i) * m + col * t + j];
+        }
+    }
+
+  CannonResult result;
+  const sim::SimConfig net_cfg{emb.host_dim(), 1, 10'000'000, sw,
+                               flits_per_tile};
+
+  // One cyclic shift of every tile by one step along `axis` (decreasing
+  // coordinate). `move` masks which grid positions actually send. Returns
+  // the simulated cycles.
+  auto shift_step = [&](std::vector<Tile>& tiles, u32 axis,
+                        const std::vector<bool>& move) -> u64 {
+    sim::CubeNetwork net(net_cfg);
+    std::vector<Tile> next = tiles;
+    for (u64 r = 0; r < p; ++r)
+      for (u64 col = 0; col < p; ++col) {
+        const u64 src = grid.index(Coord{r, col});
+        if (!move[src]) continue;
+        Coord dstc{r, col};
+        dstc[axis] = dstc[axis] == 0 ? p - 1 : dstc[axis] - 1;
+        const u64 dst = grid.index(dstc);
+        next[dst] = tiles[src];
+        CubePath route = shift_route(emb, grid, r, col, axis);
+        if (route.size() >= 2) {
+          net.add_message(std::move(route));
+          ++result.messages;
+        }
+      }
+    // `next` starts as a copy, so non-movers keep their tile and every
+    // arrival overwrites its slot. The masks used here (whole rows for A,
+    // whole columns for B) guarantee a vacated slot is always refilled.
+    tiles.swap(next);
+    return net.run().cycles;
+  };
+
+  const std::vector<bool> all(procs, true);
+
+  // Skew: A tile at row r shifts left r times; B tile at column c shifts
+  // up c times. Executed as p-1 masked unit-shift rounds (round s moves
+  // tiles that still owe shifts), which is how systolic implementations
+  // stage it.
+  std::vector<u64> owedA(procs), owedB(procs);
+  for (u64 r = 0; r < p; ++r)
+    for (u64 col = 0; col < p; ++col) {
+      owedA[grid.index(Coord{r, col})] = r;
+      owedB[grid.index(Coord{r, col})] = col;
+    }
+  for (u64 s = 0; s + 1 < p; ++s) {
+    std::vector<bool> moveA(procs), moveB(procs);
+    bool any = false;
+    for (u64 i = 0; i < procs; ++i) {
+      moveA[i] = owedA[i] > 0;
+      moveB[i] = owedB[i] > 0;
+      any = any || moveA[i] || moveB[i];
+    }
+    if (!any) break;
+    // Owed counts travel with the tiles. A's owed count is constant along
+    // each row and B's along each column, so shifting the count arrays is
+    // just a decrement.
+    for (u64 i = 0; i < procs; ++i) {
+      if (owedA[i] > 0) --owedA[i];
+      if (owedB[i] > 0) --owedB[i];
+    }
+    const u64 ca = shift_step(a, 1, moveA);
+    const u64 cb = shift_step(b, 0, moveB);
+    result.skew_cycles += std::max(ca, cb);
+  }
+  result.comm_cycles = result.skew_cycles;
+
+  // Main loop: p rounds of multiply + shift (no shift after the last).
+  for (u64 round = 0; round < p; ++round) {
+    ++result.rounds;
+    for (u64 i = 0; i < procs; ++i)
+      local_multiply_accumulate(c[i], a[i], b[i], t);
+    if (round + 1 == p) break;
+    const u64 ca = shift_step(a, 1, all);
+    const u64 cb = shift_step(b, 0, all);
+    result.comm_cycles += std::max(ca, cb);
+  }
+
+  // Gather C.
+  result.C.assign(m * m, 0.0);
+  for (u64 r = 0; r < p; ++r)
+    for (u64 col = 0; col < p; ++col) {
+      const u64 idx = grid.index(Coord{r, col});
+      for (u64 i = 0; i < t; ++i)
+        for (u64 j = 0; j < t; ++j)
+          result.C[(r * t + i) * m + col * t + j] = c[idx][i * t + j];
+    }
+  return result;
+}
+
+}  // namespace hj::la

@@ -1,0 +1,70 @@
+// hjembed: distributed dense linear algebra on embedded process meshes —
+// the paper's opening motivation ("many linear algebra computations can be
+// performed effectively on processor networks configured as
+// two-dimensional meshes, with or without wraparound") made executable.
+//
+// Cannon's algorithm multiplies two m x m matrices on a p x p processor
+// torus: after a skew alignment, p rounds each do a local tile multiply,
+// then ring-shift the A tiles left and the B tiles up. All data movement
+// goes through the embedding (tiles live on cube nodes; shifts follow the
+// embedding's edge paths) and the communication time comes from the
+// hypersim network, so the choice of embedding — Gray vs decomposition,
+// mesh vs torus — shows up directly in the cycle counts while the numerics
+// stay bit-identical.
+#pragma once
+
+#include <vector>
+
+#include "hypersim/network.hpp"
+
+namespace hj::la {
+
+struct CannonResult {
+  /// The full m x m product, gathered (row-major) — compare against a
+  /// serial reference to validate the data movement end to end.
+  std::vector<double> C;
+  /// Simulated communication cycles: skew phase + p-1 shift rounds.
+  u64 comm_cycles = 0;
+  /// Simulated cycles of the skew (alignment) phase alone.
+  u64 skew_cycles = 0;
+  u64 rounds = 0;
+  u64 messages = 0;
+};
+
+/// Multiply A * B (both m x m, row-major) on the processor grid given by
+/// `emb` (a 2-D square guest, p x p; wraparound axes make the ring shifts
+/// single-hop, a plain mesh pays the long way back). m must be a multiple
+/// of p. `flits_per_tile` sets the simulated message length of one tile
+/// transfer; `sw` the switching mode.
+[[nodiscard]] CannonResult cannon_multiply(
+    const Embedding& emb, u64 m, const std::vector<double>& A,
+    const std::vector<double>& B, u32 flits_per_tile = 1,
+    sim::Switching sw = sim::Switching::StoreAndForward);
+
+/// Serial reference multiply for validation.
+[[nodiscard]] std::vector<double> reference_multiply(
+    u64 m, const std::vector<double>& A, const std::vector<double>& B);
+
+struct MatvecResult {
+  std::vector<double> y;  // the m-vector A * x
+  /// Simulated cycles: broadcast of x down the columns, then the partial
+  /// sums travel rightward along each row (a systolic row reduction).
+  u64 comm_cycles = 0;
+  u64 messages = 0;
+};
+
+/// y = A * x on the p x p grid of `emb`: x is broadcast down the columns
+/// (each diagonal processor owns its slice), every processor multiplies
+/// its tile, and the row partial sums reduce left-to-right systolically.
+/// Exercises Johnsson's [15] broadcast + reduction structure through the
+/// embedding.
+[[nodiscard]] MatvecResult matvec(const Embedding& emb, u64 m,
+                                  const std::vector<double>& A,
+                                  const std::vector<double>& x,
+                                  u32 flits_per_block = 1);
+
+/// Serial reference.
+[[nodiscard]] std::vector<double> reference_matvec(
+    u64 m, const std::vector<double>& A, const std::vector<double>& x);
+
+}  // namespace hj::la

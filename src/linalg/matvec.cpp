@@ -1,0 +1,98 @@
+#include "linalg/cannon.hpp"
+
+namespace hj::la {
+
+std::vector<double> reference_matvec(u64 m, const std::vector<double>& A,
+                                     const std::vector<double>& x) {
+  std::vector<double> y(m, 0.0);
+  for (u64 i = 0; i < m; ++i)
+    for (u64 j = 0; j < m; ++j) y[i] += A[i * m + j] * x[j];
+  return y;
+}
+
+MatvecResult matvec(const Embedding& emb, u64 m,
+                    const std::vector<double>& A,
+                    const std::vector<double>& x, u32 flits_per_block) {
+  const Shape& grid = emb.guest().shape();
+  require(grid.dims() == 2 && grid[0] == grid[1],
+          "matvec: needs a square 2-D processor grid");
+  const u64 p = grid[0];
+  require(m % p == 0, "matvec: m must be a multiple of p");
+  require(A.size() == m * m && x.size() == m, "matvec: size mismatch");
+  const u64 t = m / p;
+
+  MatvecResult result;
+  const sim::SimConfig net_cfg{emb.host_dim(), 1, 10'000'000,
+                               sim::Switching::StoreAndForward,
+                               flits_per_block};
+
+  // Phase 1: the diagonal processor (c, c) owns slice x_c; broadcast it
+  // down column c, systolically in both directions (each hop one cycle of
+  // dependency). All columns proceed in parallel.
+  {
+    sim::CubeNetwork net(net_cfg);
+    for (u64 c = 0; c < p; ++c) {
+      // Downward chain c -> c+1 -> ... and upward chain c -> c-1 -> ...
+      i64 dep = -1;
+      for (u64 r = c; r + 1 < p; ++r) {
+        dep = static_cast<i64>(net.add_message(
+            neighbor_route(emb, grid.index(Coord{r, c}),
+                           grid.index(Coord{r + 1, c})),
+            dep));
+        ++result.messages;
+      }
+      dep = -1;
+      for (u64 r = c; r > 0; --r) {
+        dep = static_cast<i64>(net.add_message(
+            neighbor_route(emb, grid.index(Coord{r, c}),
+                           grid.index(Coord{r - 1, c})),
+            dep));
+        ++result.messages;
+      }
+    }
+    result.comm_cycles += net.run().cycles;
+  }
+
+  // Phase 2: local partial products (free in the communication model).
+  // partial[(r, c)] = A_tile(r, c) * x_c.
+  const u64 procs = grid.num_nodes();
+  std::vector<std::vector<double>> partial(procs, std::vector<double>(t, 0));
+  for (u64 r = 0; r < p; ++r)
+    for (u64 c = 0; c < p; ++c) {
+      auto& out = partial[grid.index(Coord{r, c})];
+      for (u64 i = 0; i < t; ++i)
+        for (u64 j = 0; j < t; ++j)
+          out[i] += A[(r * t + i) * m + c * t + j] * x[c * t + j];
+    }
+
+  // Phase 3: systolic row reduction right-to-left into column 0: each
+  // processor waits for its right neighbor's partial sum, adds, forwards.
+  {
+    sim::CubeNetwork net(net_cfg);
+    for (u64 r = 0; r < p; ++r) {
+      i64 dep = -1;
+      for (u64 c = p; c-- > 1;) {
+        dep = static_cast<i64>(net.add_message(
+            neighbor_route(emb, grid.index(Coord{r, c}),
+                           grid.index(Coord{r, c - 1})),
+            dep));
+        ++result.messages;
+        // The data reduction itself:
+        auto& acc = partial[grid.index(Coord{r, c - 1})];
+        const auto& in = partial[grid.index(Coord{r, c})];
+        for (u64 i = 0; i < t; ++i) acc[i] += in[i];
+      }
+    }
+    result.comm_cycles += net.run().cycles;
+  }
+
+  // Gather y from column 0.
+  result.y.assign(m, 0.0);
+  for (u64 r = 0; r < p; ++r) {
+    const auto& slice = partial[grid.index(Coord{r, 0})];
+    for (u64 i = 0; i < t; ++i) result.y[r * t + i] = slice[i];
+  }
+  return result;
+}
+
+}  // namespace hj::la

@@ -1,0 +1,174 @@
+#include "manytoone/manytoone.hpp"
+
+#include <algorithm>
+
+#include "core/product.hpp"
+
+namespace hj::m2o {
+
+ContractionEmbedding::ContractionEmbedding(EmbeddingPtr base, Shape factors)
+    : Embedding(Mesh(base->guest().shape() * factors), base->host_dim()),
+      base_(std::move(base)),
+      factors_(std::move(factors)) {
+  require(!base_->guest().any_wrap(),
+          "ContractionEmbedding: wraparound bases are not supported");
+}
+
+MeshIndex ContractionEmbedding::block_of(MeshIndex idx) const {
+  const Shape& s = guest().shape();
+  const Shape& sb = base_->guest().shape();
+  const Coord z = s.coord(idx);
+  Coord b(sb.dims(), 0);
+  for (u32 i = 0; i < sb.dims(); ++i) b[i] = z[i] / factors_[i];
+  return sb.index(b);
+}
+
+CubeNode ContractionEmbedding::map(MeshIndex idx) const {
+  return base_->map(block_of(idx));
+}
+
+CubePath ContractionEmbedding::edge_path(const MeshEdge& e) const {
+  const MeshIndex ba = block_of(e.a), bb = block_of(e.b);
+  if (ba == bb) {
+    // Intra-block edge: both endpoints share an image; zero-length path.
+    return CubePath{map(e.a)};
+  }
+  const MeshIndex lo = std::min(ba, bb), hi = std::max(ba, bb);
+  CubePath p = base_->edge_path(MeshEdge{lo, hi, e.axis, false});
+  if (ba > bb) p.reverse();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+
+CubeFoldEmbedding::CubeFoldEmbedding(EmbeddingPtr base, u32 folded_dim)
+    : Embedding(base->guest(), folded_dim),
+      base_(std::move(base)),
+      mask_((u64{1} << folded_dim) - 1) {
+  require(folded_dim <= base_->host_dim(),
+          "CubeFoldEmbedding: cannot fold to a larger cube");
+}
+
+CubeNode CubeFoldEmbedding::map(MeshIndex idx) const {
+  return base_->map(idx) & mask_;
+}
+
+CubePath CubeFoldEmbedding::edge_path(const MeshEdge& e) const {
+  CubePath folded;
+  for (CubeNode v : base_->edge_path(e)) {
+    const CubeNode w = v & mask_;
+    // Hops along folded dimensions collapse to nothing.
+    if (folded.empty() || folded.back() != w) folded.push_back(w);
+  }
+  return folded;
+}
+
+// ---------------------------------------------------------------------------
+
+EmbeddingPtr gray_contraction(const Shape& block_counts,
+                              const Shape& pow2_parts) {
+  require(block_counts.dims() == pow2_parts.dims(),
+          "gray_contraction: rank mismatch");
+  for (u32 i = 0; i < pow2_parts.dims(); ++i)
+    require(is_pow2(pow2_parts[i]),
+            "gray_contraction: pow2_parts must be powers of two");
+  auto gray = std::make_shared<GrayEmbedding>(Mesh(pow2_parts));
+  return std::make_shared<ContractionEmbedding>(std::move(gray),
+                                                block_counts);
+}
+
+ContractPlan contract_to_cube(const Shape& shape, u32 n) {
+  require(n <= 63, "contract_to_cube: cube too large");
+  const u32 k = shape.dims();
+
+  // Per-axis options: (c, p) with c * 2^p >= l, c = ceil(l / 2^p).
+  struct Option {
+    u64 c;
+    u32 p;
+  };
+  std::vector<std::vector<Option>> options(k);
+  for (u32 i = 0; i < k; ++i)
+    for (u32 p = 0; p <= log2_ceil(shape[i]); ++p)
+      options[i].push_back({(shape[i] + (u64{1} << p) - 1) >> p, p});
+
+  // Pick the combination minimizing the load factor prod(c) * 2^(sum p - n)
+  // subject to sum p >= n.
+  struct Choice {
+    SmallVec<u32, 4> pick;
+    u64 load = ~u64{0};
+  } best;
+  SmallVec<u32, 4> pick(k, 0);
+  for (;;) {
+    u64 blocks = 1;
+    u32 bits = 0;
+    for (u32 i = 0; i < k; ++i) {
+      blocks *= options[i][pick[i]].c;
+      bits += options[i][pick[i]].p;
+    }
+    if (bits >= n && bits < 64) {
+      const u64 load = blocks << (bits - n);
+      if (load < best.load) best = {pick, load};
+    }
+    u32 axis = 0;
+    while (axis < k && ++pick[axis] == options[axis].size()) pick[axis++] = 0;
+    if (axis == k) break;
+  }
+  require(best.load != ~u64{0}, "contract_to_cube: no feasible decomposition");
+
+  SmallVec<u64, 4> counts, pows;
+  u32 bits = 0;
+  for (u32 i = 0; i < k; ++i) {
+    const Option& o = options[i][best.pick[i]];
+    counts.push_back(o.c);
+    pows.push_back(u64{1} << o.p);
+    bits += o.p;
+  }
+
+  EmbeddingPtr emb = gray_contraction(Shape{counts}, Shape{pows});
+  std::string plan = "contract[" + Shape{counts}.to_string() + " * gray " +
+                     Shape{pows}.to_string() + "]";
+  // The contracted guest may exceed the requested shape: shrink to it.
+  if (!(emb->guest().shape() == shape))
+    emb = std::make_shared<SubmeshEmbedding>(std::move(emb), shape);
+  if (bits > n) {
+    emb = std::make_shared<CubeFoldEmbedding>(std::move(emb), n);
+    plan += " folded to Q" + std::to_string(n);
+  }
+
+  ContractPlan out;
+  out.embedding = emb;
+  out.report = verify(*emb);
+  out.plan = std::move(plan);
+  out.optimal_load =
+      (shape.num_nodes() + (u64{1} << n) - 1) >> n;
+  return out;
+}
+
+bool corollary5_condition(const Shape& shape, u32 n) {
+  const u32 k = shape.dims();
+  const u64 target = ceil_pow2(shape.num_nodes());
+  SmallVec<u32, 4> pick(k, 0);
+  std::vector<std::vector<u64>> ext(k);  // candidate c * 2^p per axis
+  std::vector<std::vector<u32>> pow(k);
+  for (u32 i = 0; i < k; ++i)
+    for (u32 p = 0; p <= log2_ceil(shape[i]); ++p) {
+      const u64 c = (shape[i] + (u64{1} << p) - 1) >> p;
+      ext[i].push_back(c << p);
+      pow[i].push_back(p);
+    }
+  for (;;) {
+    u64 prod = 1;
+    u32 bits = 0;
+    for (u32 i = 0; i < k; ++i) {
+      prod *= ext[i][pick[i]];
+      bits += pow[i][pick[i]];
+    }
+    if (bits >= n && ceil_pow2(prod) == target) return true;
+    u32 axis = 0;
+    while (axis < k && ++pick[axis] == ext[axis].size()) pick[axis++] = 0;
+    if (axis == k) break;
+  }
+  return false;
+}
+
+}  // namespace hj::m2o

@@ -1,0 +1,98 @@
+// hjembed: many-to-one embeddings (Section 7 of the paper).
+//
+// When the mesh outgrows the machine, several mesh nodes share a cube node
+// and the quality measure becomes the *load factor* (Definition 5). The
+// paper's toolkit:
+//
+//   Theorem 4    the product of many-to-one embeddings multiplies load
+//                factors, keeps dilation max(d1, d2), and bounds the
+//                congestion by max(f1 c2, f2 c1). (The library's
+//                MeshProductEmbedding already implements the construction;
+//                it simply stops being injective.)
+//   Lemma 5      contraction: an (l1 l1') x ... x (lk lk') mesh rides on an
+//                embedding of the l1 x ... x lk mesh with load factor
+//                f * prod l'_i, unchanged dilation, and congestion
+//                c_i * prod(l'_j) / l'_i on axis i.
+//   Corollary 4  Gray code + contraction embeds an l1 2^n1 x ... mesh with
+//                dilation one and optimal load factor.
+//   Corollary 5  any mesh embeds into any n-cube with dilation one and
+//                load factor within 2x of optimal, by extending axes to
+//                l'_i 2^n_i and folding surplus cube dimensions away.
+#pragma once
+
+#include <string>
+
+#include "core/embedding.hpp"
+#include "core/verify.hpp"
+
+namespace hj::m2o {
+
+/// Lemma 5: contract blocks of `factors[i]` consecutive nodes per axis i
+/// onto one node of the base embedding's guest. Guest shape =
+/// base guest shape * factors (elementwise). Intra-block edges collapse to
+/// zero-length paths; block-boundary edges ride the base paths.
+class ContractionEmbedding final : public Embedding {
+ public:
+  ContractionEmbedding(EmbeddingPtr base, Shape factors);
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override;
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+  [[nodiscard]] bool one_to_one() const noexcept override {
+    return factors_.num_nodes() == 1 && base_->one_to_one();
+  }
+
+  [[nodiscard]] const Shape& factors() const noexcept { return factors_; }
+
+ private:
+  [[nodiscard]] MeshIndex block_of(MeshIndex idx) const;
+
+  EmbeddingPtr base_;
+  Shape factors_;
+};
+
+/// Corollary 5's folding step: quotient the host cube by its high address
+/// bits. Edges along folded dimensions collapse; dilation never grows.
+class CubeFoldEmbedding final : public Embedding {
+ public:
+  CubeFoldEmbedding(EmbeddingPtr base, u32 folded_dim);
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override;
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+  [[nodiscard]] bool one_to_one() const noexcept override {
+    return base_->host_dim() == host_dim() && base_->one_to_one();
+  }
+
+ private:
+  EmbeddingPtr base_;
+  CubeNode mask_;
+};
+
+/// Corollary 4: Gray code on the power-of-two parts plus contraction of
+/// the rest: embeds the mesh (block_counts[i] * pow2_parts[i]) per axis
+/// into the cube of the pow2 parts, with dilation <= 1 and optimal load
+/// factor prod(block_counts).
+[[nodiscard]] EmbeddingPtr gray_contraction(const Shape& block_counts,
+                                            const Shape& pow2_parts);
+
+/// A planned many-to-one embedding (Corollary 5 pipeline).
+struct ContractPlan {
+  EmbeddingPtr embedding;
+  VerifyReport report;
+  std::string plan;
+  /// ceil(|mesh| / 2^n): no embedding can do better.
+  u64 optimal_load = 0;
+};
+
+/// Embed `shape` into Q_n (n may be far smaller than the mesh) with
+/// dilation <= 1, minimizing the load factor over all per-axis
+/// (c_i * 2^{n_i} >= l_i) decompositions followed by a cube fold.
+/// The paper's example: a 19x19 mesh into Q5 -> load 15, optimal 12.
+[[nodiscard]] ContractPlan contract_to_cube(const Shape& shape, u32 n);
+
+/// Corollary 5's applicability condition: some per-axis decomposition
+/// l'_i 2^{n_i} >= l_i has ceil2(prod l'_i 2^{n_i}) == ceil2(prod l_i) and
+/// sum n_i >= n. When it holds, contract_to_cube's load factor is within a
+/// factor of two of optimal; when it fails the paper makes no promise.
+[[nodiscard]] bool corollary5_condition(const Shape& shape, u32 n);
+
+}  // namespace hj::m2o

@@ -1,0 +1,132 @@
+#include "reshape/reshape.hpp"
+
+#include <algorithm>
+
+namespace hj::reshape {
+
+std::vector<MeshIndex> MeshMap::path(const MeshEdge& e) const {
+  // Axis-ordered staircase: walk each axis in turn from map(a) to map(b).
+  const Shape& hs = host_.shape();
+  const Coord from = hs.coord(map(e.a));
+  const Coord to = hs.coord(map(e.b));
+  std::vector<MeshIndex> out;
+  Coord cur = from;
+  out.push_back(hs.index(cur));
+  for (u32 axis = 0; axis < hs.dims(); ++axis) {
+    while (cur[axis] != to[axis]) {
+      cur[axis] += cur[axis] < to[axis] ? 1 : u64(-1);
+      out.push_back(hs.index(cur));
+    }
+  }
+  return out;
+}
+
+u32 MeshMap::dilation() const {
+  u32 d = 0;
+  guest_.for_each_edge([&](const MeshEdge& e) {
+    d = std::max(d, static_cast<u32>(path(e).size() - 1));
+  });
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Shape folding_host(const Shape& guest, u64 host_rows) {
+  require(guest.dims() == 2, "FoldingMap: 2D guests only");
+  require(host_rows >= 1, "FoldingMap: need at least one host row");
+  const u64 segments = (guest[0] + host_rows - 1) / host_rows;
+  return Shape{host_rows, segments * guest[1]};
+}
+
+}  // namespace
+
+FoldingMap::FoldingMap(Shape guest_shape, u64 host_rows)
+    : MeshMap(Mesh(guest_shape), Mesh(folding_host(guest_shape, host_rows))),
+      segments_((guest_shape[0] + host_rows - 1) / host_rows) {}
+
+MeshIndex FoldingMap::map(MeshIndex idx) const {
+  const Shape& gs = guest().shape();
+  const Shape& hs = host().shape();
+  const Coord g = gs.coord(idx);
+  const u64 n1 = hs[0];
+  const u64 seg = g[0] / n1;
+  const u64 r = g[0] % n1;
+  // Reflect odd segments so the fold line stays adjacent.
+  const u64 row = (seg & 1) ? n1 - 1 - r : r;
+  // Interleave: the `segments_` copies of guest column j sit side by side.
+  const u64 col = g[1] * segments_ + seg;
+  return hs.index(Coord{row, col});
+}
+
+// ---------------------------------------------------------------------------
+
+SnakeMap::SnakeMap(Shape guest_shape, Shape host_shape)
+    : MeshMap(Mesh(guest_shape), Mesh(host_shape)) {
+  require(guest_shape.dims() == 2 && host_shape.dims() == 2,
+          "SnakeMap: 2D only");
+  require(host_shape.num_nodes() >= guest_shape.num_nodes(),
+          "SnakeMap: host too small");
+}
+
+MeshIndex SnakeMap::map(MeshIndex idx) const {
+  const Shape& gs = guest().shape();
+  const Shape& hs = host().shape();
+  const Coord g = gs.coord(idx);
+  // Boustrophedon linearization of the guest (column-major, alternating
+  // direction), then boustrophedon fill of the host columns.
+  const u64 l1 = gs[0];
+  const u64 gi = (g[1] & 1) ? l1 - 1 - g[0] : g[0];
+  const u64 q = g[1] * l1 + gi;
+  const u64 n1 = hs[0];
+  const u64 col = q / n1;
+  const u64 r = q % n1;
+  const u64 row = (col & 1) ? n1 - 1 - r : r;
+  return hs.index(Coord{row, col});
+}
+
+// ---------------------------------------------------------------------------
+
+ComposedEmbedding::ComposedEmbedding(MeshMapPtr reshape, EmbeddingPtr inner)
+    : Embedding(reshape->guest(), inner->host_dim()),
+      reshape_(std::move(reshape)),
+      inner_(std::move(inner)) {
+  require(reshape_->host() == inner_->guest(),
+          "ComposedEmbedding: reshape host must be the inner guest");
+}
+
+CubeNode ComposedEmbedding::map(MeshIndex idx) const {
+  return inner_->map(reshape_->map(idx));
+}
+
+CubePath ComposedEmbedding::edge_path(const MeshEdge& e) const {
+  const std::vector<MeshIndex> mesh_path = reshape_->path(e);
+  const Shape& hs = reshape_->host().shape();
+  CubePath out;
+  out.push_back(inner_->map(mesh_path.front()));
+  for (std::size_t i = 0; i + 1 < mesh_path.size(); ++i) {
+    // Identify the host-mesh edge for this step and splice its cube path.
+    const MeshIndex a = mesh_path[i], b = mesh_path[i + 1];
+    const MeshIndex lo = std::min(a, b), hi = std::max(a, b);
+    u32 axis = 0;
+    const Coord ca = hs.coord(lo), cb = hs.coord(hi);
+    for (u32 d = 0; d < hs.dims(); ++d)
+      if (ca[d] != cb[d]) axis = d;
+    CubePath step = inner_->edge_path(MeshEdge{lo, hi, axis, false});
+    if (a > b) step.reverse();
+    for (std::size_t j = 1; j < step.size(); ++j) out.push_back(step[j]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+EmbeddingPtr fold_and_gray(const Shape& shape, u32 row_bits) {
+  auto fold = std::make_shared<FoldingMap>(shape, u64{1} << row_bits);
+  auto gray = std::make_shared<GrayEmbedding>(fold->host());
+  return std::make_shared<ComposedEmbedding>(std::move(fold),
+                                             std::move(gray));
+}
+
+}  // namespace hj::reshape

@@ -1,0 +1,105 @@
+// hjembed: reshaping techniques (Section 3.2) and embedding composition
+// (Lemma 2).
+//
+// Reshaping embeds an l1 x l2 mesh into an N1 x N2 mesh whose sides are
+// powers of two, so a Gray code finishes the job; composing the two
+// embeddings (Lemma 2) bounds each edge's cube dilation by the sum of the
+// cube dilations along its mesh path. The paper's catalogue:
+//
+//   folding [19]            dilation = ceil(l1/N1) (2 for the classic
+//                           half-fold), but wasteful: N2 >= ceil(l1/N1)*l2.
+//   line compression [1]    capacity-tight boustrophedon packing; its max
+//                           dilation degrades badly (SnakeMap measures
+//                           this — the reason "modified" line compression
+//                           [4] was a publishable result; that algorithm's
+//                           text is unavailable, see DESIGN.md).
+//
+// The decomposition planner never needs these; they are here as faithful
+// baselines and for the reshaping ablation bench.
+#pragma once
+
+#include <memory>
+
+#include "core/embedding.hpp"
+
+namespace hj::reshape {
+
+/// A mesh-to-mesh embedding: a node map plus a host-mesh path per guest
+/// edge (both meshes without wraparound).
+class MeshMap {
+ public:
+  MeshMap(Mesh guest, Mesh host)
+      : guest_(std::move(guest)), host_(std::move(host)) {
+    require(!guest_.any_wrap() && !host_.any_wrap(),
+            "MeshMap: wraparound meshes are not supported");
+  }
+  virtual ~MeshMap() = default;
+
+  [[nodiscard]] const Mesh& guest() const noexcept { return guest_; }
+  [[nodiscard]] const Mesh& host() const noexcept { return host_; }
+
+  [[nodiscard]] virtual MeshIndex map(MeshIndex idx) const = 0;
+
+  /// Host-mesh node sequence for a guest edge (endpoints included).
+  /// Default: the axis-ordered staircase between the images.
+  [[nodiscard]] virtual std::vector<MeshIndex> path(const MeshEdge& e) const;
+
+  /// Max over guest edges of the host-mesh path length.
+  [[nodiscard]] u32 dilation() const;
+
+  MeshMap(const MeshMap&) = delete;
+  MeshMap& operator=(const MeshMap&) = delete;
+
+ private:
+  Mesh guest_;
+  Mesh host_;
+};
+
+using MeshMapPtr = std::shared_ptr<const MeshMap>;
+
+/// Folding [19]: cut the guest's first axis into ceil(l1/N1) segments and
+/// lay them side by side, reflecting odd segments so the cuts stay
+/// adjacent. Host: N1 x (ceil(l1/N1) * l2). Dilation = ceil(l1/N1) (the
+/// horizontal stride between copies).
+class FoldingMap final : public MeshMap {
+ public:
+  FoldingMap(Shape guest_shape, u64 host_rows);
+
+  [[nodiscard]] MeshIndex map(MeshIndex idx) const override;
+
+ private:
+  u64 segments_;
+};
+
+/// Line compression [1], naive form: boustrophedon column-major packing of
+/// guest cells into host columns. Capacity-tight (any host with
+/// N1 * N2 >= l1 * l2 works) but the max dilation degrades with N1 — the
+/// measured justification for Chan's modified algorithm.
+class SnakeMap final : public MeshMap {
+ public:
+  SnakeMap(Shape guest_shape, Shape host_shape);
+
+  [[nodiscard]] MeshIndex map(MeshIndex idx) const override;
+};
+
+/// Lemma 2: compose a mesh-to-mesh embedding with a mesh-to-cube
+/// embedding. Each guest edge's cube path is the concatenation of the
+/// cube paths of its host-mesh path's edges, so
+/// dil(e) <= sum of the inner dilations along the reshaped path.
+class ComposedEmbedding final : public Embedding {
+ public:
+  ComposedEmbedding(MeshMapPtr reshape, EmbeddingPtr inner);
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override;
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+
+ private:
+  MeshMapPtr reshape_;
+  EmbeddingPtr inner_;
+};
+
+/// Convenience: reshape-by-folding into power-of-two rows, then Gray code.
+/// Returns an embedding of `shape` with dilation = ceil(l1 / 2^row_bits).
+[[nodiscard]] EmbeddingPtr fold_and_gray(const Shape& shape, u32 row_bits);
+
+}  // namespace hj::reshape

@@ -1,0 +1,171 @@
+#include "search/anneal.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace hj::search {
+namespace {
+
+/// Penalty of one edge image: how far past the dilation bound it is.
+/// Squaring rewards shortening very long edges first.
+u64 edge_penalty(CubeNode a, CubeNode b, u32 bound) {
+  const u32 h = hamming(a, b);
+  if (h <= bound) return 0;
+  const u64 over = h - bound;
+  return over * over;
+}
+
+constexpr u32 kNoPos = ~0u;
+
+}  // namespace
+
+AnnealResult anneal_search(const Mesh& guest, u32 host_dim,
+                           const AnnealOptions& opts) {
+  require(host_dim <= 30, "anneal_search: host_dim too large");
+  AnnealResult result;
+  const u64 n_guest = guest.num_nodes();
+  const u64 n_host = u64{1} << host_dim;
+  if (n_guest > n_host) return result;
+
+  // Edge and adjacency structures.
+  struct E {
+    MeshIndex a, b;
+  };
+  std::vector<E> edges;
+  guest.for_each_edge(
+      [&](const MeshEdge& e) { edges.push_back({e.a, e.b}); });
+  std::vector<SmallVec<u32, 8>> incident(n_guest);
+  for (u32 ei = 0; ei < edges.size(); ++ei) {
+    incident[edges[ei].a].push_back(ei);
+    incident[edges[ei].b].push_back(ei);
+  }
+  std::vector<SmallVec<MeshIndex, 8>> adj(n_guest);
+  for (const E& e : edges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  result.best_penalty = ~u64{0};
+
+  for (u32 restart = 0; restart < opts.restarts; ++restart) {
+    // Initial placement: Gray-like row-major fill keeps most edges short.
+    std::vector<CubeNode> place(n_guest);
+    std::vector<i64> owner(n_host, -1);  // cube node -> guest node or -1
+    for (u64 i = 0; i < n_guest; ++i) {
+      place[i] = i ^ (i >> 1);  // gray of the linear index
+      owner[place[i]] = static_cast<i64>(i);
+    }
+
+    // Violated-edge bookkeeping: a worklist so moves can focus on the
+    // endpoints that still hurt.
+    std::vector<u64> pen(edges.size(), 0);
+    std::vector<u32> violated;
+    std::vector<u32> vpos(edges.size(), kNoPos);
+    u64 penalty = 0;
+    auto refresh_edge = [&](u32 ei) {
+      const u64 fresh =
+          edge_penalty(place[edges[ei].a], place[edges[ei].b],
+                       opts.max_dilation);
+      penalty += fresh - pen[ei];
+      if (fresh && vpos[ei] == kNoPos) {
+        vpos[ei] = static_cast<u32>(violated.size());
+        violated.push_back(ei);
+      } else if (!fresh && vpos[ei] != kNoPos) {
+        const u32 last = violated.back();
+        violated[vpos[ei]] = last;
+        vpos[last] = vpos[ei];
+        violated.pop_back();
+        vpos[ei] = kNoPos;
+      }
+      pen[ei] = fresh;
+    };
+    for (u32 ei = 0; ei < edges.size(); ++ei) refresh_edge(ei);
+
+    auto node_cost = [&](MeshIndex v, CubeNode at) {
+      u64 c = 0;
+      for (MeshIndex w : adj[v])
+        c += edge_penalty(at, place[w], opts.max_dilation);
+      return c;
+    };
+
+    const double cool =
+        std::pow(opts.t_end / opts.t_start,
+                 1.0 / static_cast<double>(opts.iterations));
+    double temp = opts.t_start;
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::uniform_int_distribution<u64> pick_guest(0, n_guest - 1);
+    std::uniform_int_distribution<u64> pick_host(0, n_host - 1);
+
+    for (u64 it = 0; it < opts.iterations && penalty > 0; ++it, temp *= cool) {
+      ++result.iterations_used;
+      // Focus most moves on an endpoint of a violated edge.
+      MeshIndex v;
+      if (!violated.empty() && unit(rng) < 0.75) {
+        const u32 ei = violated[static_cast<std::size_t>(
+            unit(rng) * static_cast<double>(violated.size()))];
+        v = unit(rng) < 0.5 ? edges[ei].a : edges[ei].b;
+      } else {
+        v = pick_guest(rng);
+      }
+      const CubeNode from = place[v];
+      // Half the time target a slot near a neighbor's image (a productive
+      // destination), otherwise anywhere.
+      CubeNode to;
+      if (!adj[v].empty() && unit(rng) < 0.5) {
+        const MeshIndex w = adj[v][static_cast<std::size_t>(
+            unit(rng) * static_cast<double>(adj[v].size()))];
+        const u32 bit1 = static_cast<u32>(pick_host(rng)) % host_dim;
+        const u32 bit2 = static_cast<u32>(pick_host(rng)) % host_dim;
+        to = place[w] ^ (u64{1} << bit1) ^ (u64{1} << bit2);
+      } else {
+        to = pick_host(rng);
+      }
+      if (to == from) continue;
+      const i64 displaced = owner[to];
+      const MeshIndex w =
+          displaced < 0 ? 0 : static_cast<MeshIndex>(displaced);
+
+      i64 delta;
+      if (displaced < 0) {
+        delta = static_cast<i64>(node_cost(v, to)) -
+                static_cast<i64>(node_cost(v, from));
+      } else {
+        const u64 before = node_cost(v, from) + node_cost(w, to);
+        place[v] = to;
+        place[w] = from;
+        const u64 after = node_cost(v, to) + node_cost(w, from);
+        place[v] = from;
+        place[w] = to;
+        delta = static_cast<i64>(after) - static_cast<i64>(before);
+      }
+
+      if (delta <= 0 ||
+          unit(rng) < std::exp(-static_cast<double>(delta) / temp)) {
+        if (displaced < 0) {
+          owner[from] = -1;
+          owner[to] = static_cast<i64>(v);
+          place[v] = to;
+        } else {
+          owner[to] = static_cast<i64>(v);
+          owner[from] = static_cast<i64>(w);
+          place[v] = to;
+          place[w] = from;
+        }
+        for (u32 ei : incident[v]) refresh_edge(ei);
+        if (displaced >= 0)
+          for (u32 ei : incident[w]) refresh_edge(ei);
+      }
+    }
+
+    result.best_penalty = std::min(result.best_penalty, penalty);
+    if (penalty == 0) {
+      result.map = std::move(place);
+      return result;
+    }
+    rng.seed(opts.seed + 0x517cc1b727220a95ull * (restart + 1));
+  }
+  return result;
+}
+
+}  // namespace hj::search

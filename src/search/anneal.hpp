@@ -1,0 +1,40 @@
+// hjembed search: simulated-annealing search for bounded-dilation
+// embeddings.
+//
+// Backtracking proves nonexistence but struggles on the larger direct
+// shapes (11x11 into Q7 has ~10^200 raw placements). Annealing gives up
+// completeness for speed: it walks the space of injective placements,
+// penalizing every edge whose image exceeds the dilation bound, and
+// returns a witness when the penalty reaches zero. A returned map is
+// always exact (the caller re-verifies it); a miss proves nothing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace hj::search {
+
+struct AnnealOptions {
+  u32 max_dilation = 2;
+  u64 iterations = 2'000'000;  // per restart
+  u32 restarts = 8;
+  double t_start = 2.5;
+  double t_end = 0.02;
+  u64 seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct AnnealResult {
+  std::optional<std::vector<CubeNode>> map;
+  /// Best (lowest) penalty seen: sum over edges of max(0, length - bound).
+  u64 best_penalty = 0;
+  u64 iterations_used = 0;
+};
+
+/// Search for a one-to-one embedding of `guest` into Q_{host_dim} with
+/// dilation <= opts.max_dilation by simulated annealing.
+[[nodiscard]] AnnealResult anneal_search(const Mesh& guest, u32 host_dim,
+                                         const AnnealOptions& opts = {});
+
+}  // namespace hj::search

@@ -1,0 +1,56 @@
+// hjembed search: exhaustive backtracking search for bounded-dilation
+// embeddings.
+//
+// The paper's direct embeddings (Section 3.3) are given as tables in its
+// companion reports [13, 14], which are not reproduced in the ICPP text.
+// This searcher regenerates equivalent tables from scratch: it proves or
+// refutes the existence of an embedding of a mesh into Q_n in which every
+// edge image has cube length at most `max_dilation`, and returns a witness
+// node map when one exists.
+//
+// Pruning: nodes are assigned in row-major order so every new node is
+// constrained by its already-placed neighbors (candidate set = intersection
+// of Hamming balls); cube symmetries are broken by fixing the first image
+// at address 0 and demanding that fresh address bits appear in increasing
+// position order (one representative per translation x bit-permutation
+// orbit survives).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace hj::search {
+
+struct BacktrackOptions {
+  u32 max_dilation = 2;
+  /// Stop after this many search-tree nodes (0 = unlimited). When the
+  /// budget is hit the result is inconclusive, not a refutation.
+  u64 node_budget = 0;
+  /// Break cube symmetries (disable only for testing the pruning itself).
+  bool canonical_pruning = true;
+  /// Nonzero: shuffle ties in the candidate ordering with this seed.
+  /// Randomized restarts (different seeds, modest budgets) often find
+  /// witnesses that one deep deterministic run misses; a refutation under
+  /// any seed is still exhaustive and therefore sound.
+  u64 shuffle_seed = 0;
+};
+
+struct BacktrackResult {
+  /// A witness map (guest linear index -> cube node), if one was found.
+  std::optional<std::vector<CubeNode>> map;
+  /// True when the search space was exhausted: together with an empty map
+  /// this *proves* no embedding with the requested dilation exists.
+  bool exhausted = false;
+  u64 nodes_expanded = 0;
+};
+
+/// Search for a one-to-one embedding of `guest` into Q_{host_dim} with
+/// dilation <= opts.max_dilation. Requires host_dim <= 24 (table sizes);
+/// practical sizes are much smaller.
+[[nodiscard]] BacktrackResult backtrack_search(const Mesh& guest,
+                                               u32 host_dim,
+                                               const BacktrackOptions& opts = {});
+
+}  // namespace hj::search

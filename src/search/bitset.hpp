@@ -1,0 +1,69 @@
+// hjembed search: fixed-universe bitsets over cube nodes.
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace hj::search {
+
+/// A bitset over the 2^n nodes of a cube, sized at construction. Supports
+/// the operations the backtracking searcher needs: set/reset/test, in-place
+/// intersection, and iteration over set bits.
+class NodeSet {
+ public:
+  explicit NodeSet(u32 cube_dim)
+      : bits_((std::size_t{1} << cube_dim) / 64 + 1, 0),
+        universe_(u64{1} << cube_dim) {}
+
+  void set(CubeNode v) noexcept { bits_[v >> 6] |= u64{1} << (v & 63); }
+  void reset(CubeNode v) noexcept { bits_[v >> 6] &= ~(u64{1} << (v & 63)); }
+  [[nodiscard]] bool test(CubeNode v) const noexcept {
+    return (bits_[v >> 6] >> (v & 63)) & 1;
+  }
+
+  void fill() noexcept {
+    for (u64 v = 0; v < universe_; ++v) set(v);
+  }
+
+  void clear() noexcept {
+    for (u64& w : bits_) w = 0;
+  }
+
+  NodeSet& operator&=(const NodeSet& rhs) noexcept {
+    for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= rhs.bits_[i];
+    return *this;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (u64 w : bits_)
+      if (w) return true;
+    return false;
+  }
+
+  [[nodiscard]] u64 count() const noexcept {
+    u64 c = 0;
+    for (u64 w : bits_) c += static_cast<u64>(std::popcount(w));
+    return c;
+  }
+
+  /// Visit every set bit in increasing order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      u64 w = bits_[i];
+      while (w) {
+        const u64 low = w & (~w + 1);
+        fn(static_cast<CubeNode>(i * 64 +
+                                 static_cast<u64>(std::countr_zero(w))));
+        w ^= low;
+      }
+    }
+  }
+
+ private:
+  std::vector<u64> bits_;
+  u64 universe_;
+};
+
+}  // namespace hj::search

@@ -1,0 +1,128 @@
+#include "stats/gray_fraction.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace hj::stats {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+/// Regularized lower incomplete gamma P(k, x) for integer k >= 1:
+/// P(k, x) = 1 - e^{-x} sum_{i<k} x^i / i!.
+double gamma_cdf(u32 k, double x) {
+  if (x <= 0) return 0.0;
+  double sum = 0.0, term = 1.0;
+  for (u32 i = 0; i < k; ++i) {
+    sum += term;
+    term *= x / static_cast<double>(i + 1);
+  }
+  return 1.0 - std::exp(-x) * sum;
+}
+
+/// CDF of S = sum of k iid variables with density 2 e^{-b} on [0, ln 2):
+/// inclusion-exclusion over the box constraints (b = -ln a).
+double sum_cdf(u32 k, double t) {
+  if (t <= 0) return 0.0;
+  if (t >= static_cast<double>(k) * kLn2) return 1.0;
+  double acc = 0.0;
+  double binom = 1.0;  // C(k, j)
+  double sign = 1.0;
+  double scale = 1.0;  // e^{-j ln2} = 2^{-j}
+  for (u32 j = 0; j <= k; ++j) {
+    const double shifted = t - static_cast<double>(j) * kLn2;
+    if (shifted <= 0) break;
+    acc += sign * binom * scale * gamma_cdf(k, shifted);
+    sign = -sign;
+    binom = binom * static_cast<double>(k - j) / static_cast<double>(j + 1);
+    scale *= 0.5;
+  }
+  return std::pow(2.0, static_cast<double>(k)) * acc;
+}
+
+}  // namespace
+
+double f_k(u32 k, double alpha) {
+  require(k >= 1, "f_k: k must be >= 1");
+  require(alpha >= 0.5 && alpha <= 1.0, "f_k: alpha must be in [1/2, 1]");
+  // P(prod a_i >= alpha) = P(S <= -ln alpha), and -ln alpha <= ln 2 keeps
+  // the simplex inside the box: the plain Gamma CDF suffices.
+  const double t = -std::log(alpha);
+  return std::pow(2.0, static_cast<double>(k)) * gamma_cdf(k, t);
+}
+
+double gray_minimal_fraction(u32 k) { return f_k(k, 0.5); }
+
+std::vector<double> gray_expansion_distribution(u32 k) {
+  require(k >= 1, "gray_expansion_distribution: k must be >= 1");
+  // Expansion is 2^beta iff S = -ln prod(a_i) lands in
+  // [beta ln2, (beta+1) ln2).
+  std::vector<double> out(k + 1, 0.0);
+  double prev = 0.0;
+  for (u32 beta = 0; beta <= k; ++beta) {
+    const double next = sum_cdf(k, static_cast<double>(beta + 1) * kLn2);
+    out[beta] = next - prev;
+    prev = next;
+  }
+  return out;
+}
+
+double gray_minimal_fraction_mc(u32 k, u64 samples, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> half(0.5, 1.0);
+  u64 hits = 0;
+  for (u64 s = 0; s < samples; ++s) {
+    double prod = 1.0;
+    for (u32 i = 0; i < k; ++i) prod *= half(rng);
+    if (prod > 0.5) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double gray_minimal_fraction_exact(u32 k, u32 n) {
+  require(k >= 1 && k <= 3, "gray_minimal_fraction_exact: k <= 3 only");
+  const u64 side = u64{1} << n;
+  u64 hits = 0, total = 0;
+  auto minimal = [](u64 a, u64 b, u64 c) {
+    return ceil_pow2(a) * ceil_pow2(b) * ceil_pow2(c) == ceil_pow2(a * b * c);
+  };
+  if (k == 1) return 1.0;  // one axis: always minimal
+  if (k == 2) {
+    for (u64 a = 1; a <= side; ++a)
+      for (u64 b = a; b <= side; ++b) {
+        const u64 w = (a == b) ? 1 : 2;
+        total += w;
+        if (minimal(a, b, 1)) hits += w;
+      }
+    return static_cast<double>(hits) / static_cast<double>(total);
+  }
+  for (u64 a = 1; a <= side; ++a)
+    for (u64 b = a; b <= side; ++b)
+      for (u64 c = b; c <= side; ++c) {
+        const u64 w = (a == b && b == c) ? 1 : (a == b || b == c) ? 3 : 6;
+        total += w;
+        if (minimal(a, b, c)) hits += w;
+      }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double gray_minimal_fraction_domain_mc(u32 k, u32 n, u64 samples, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<u64> len(1, u64{1} << n);
+  u64 hits = 0;
+  for (u64 s = 0; s < samples; ++s) {
+    u32 bits = 0;
+    double logp = 0.0;
+    for (u32 i = 0; i < k; ++i) {
+      const u64 l = len(rng);
+      bits += log2_ceil(l);
+      logp += std::log2(static_cast<double>(l));
+    }
+    // Minimal iff sum ceil-log bits == ceil(sum log2 l). Use the exact
+    // integer product when it fits to avoid float edge cases.
+    if (static_cast<double>(bits) < logp + 1.0 - 1e-12) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace hj::stats

@@ -1,0 +1,49 @@
+// hjembed: the Gray-code coverage statistics of Theorem 2 / Figure 1.
+//
+// Model: for a random axis length l, the ratio a = l / ceil2(l) is
+// asymptotically uniform on (1/2, 1]. Gray code is minimal for a k-D mesh
+// iff the product of the ratios exceeds 1/2, so the asymptotic fraction of
+// k-D meshes with minimal Gray expansion is
+//
+//     f_k(1/2) = 2^k (1 - 1/2 sum_{i<k} ln^i 2 / i!)        (Theorem 2)
+//
+// and more generally P(prod a_i >= alpha) = f_k(alpha). This module gives
+// the closed forms, the full expansion distribution (via inclusion-
+// exclusion over the box constraints), Monte Carlo estimators of both the
+// continuous model and the finite domain, and exact finite-domain counts
+// for small k.
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace hj::stats {
+
+/// Closed form f_k(alpha) = P(prod_{i<k} a_i >= alpha), a_i ~ U(1/2, 1],
+/// valid for alpha in [1/2, 1].
+[[nodiscard]] double f_k(u32 k, double alpha);
+
+/// Theorem 2's headline value f_k(1/2): the asymptotic fraction of k-D
+/// meshes for which binary-reflected Gray code embedding is minimal.
+[[nodiscard]] double gray_minimal_fraction(u32 k);
+
+/// P(Gray expansion == 2^beta) for beta = 0..k under the continuous model
+/// (the returned vector has k+1 entries summing to 1).
+[[nodiscard]] std::vector<double> gray_expansion_distribution(u32 k);
+
+/// Monte Carlo estimate of gray_minimal_fraction under the continuous
+/// model; converges to the closed form (used as a cross-check).
+[[nodiscard]] double gray_minimal_fraction_mc(u32 k, u64 samples,
+                                              u64 seed = 42);
+
+/// Exact fraction of meshes with axes in [1, 2^n] whose Gray embedding is
+/// minimal. Supported for k <= 3 (axis symmetry makes n = 9, k = 3 cheap).
+[[nodiscard]] double gray_minimal_fraction_exact(u32 k, u32 n);
+
+/// Monte Carlo estimate of the finite-domain fraction for any k.
+[[nodiscard]] double gray_minimal_fraction_domain_mc(u32 k, u32 n,
+                                                     u64 samples,
+                                                     u64 seed = 42);
+
+}  // namespace hj::stats

@@ -1,0 +1,225 @@
+// Tests for the Figure 2 coverage arithmetic (Section 5).
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hj::coverage {
+namespace {
+
+TEST(Coverage, GrayExcess) {
+  EXPECT_EQ(gray_excess_log2(Shape{4, 8}), 0u);
+  EXPECT_EQ(gray_excess_log2(Shape{3, 5}), 1u);    // 32 vs 16
+  EXPECT_EQ(gray_excess_log2(Shape{5, 6, 7}), 1u);  // 512 vs 256
+  EXPECT_EQ(gray_excess_log2(Shape{5, 5, 5}), 2u);  // 512 vs 128
+}
+
+TEST(Coverage, Method1Examples) {
+  EXPECT_TRUE(method1_gray(4, 8, 2));
+  EXPECT_TRUE(method1_gray(3, 6, 1));   // 4*8 = 32 = ceil2(18)
+  EXPECT_FALSE(method1_gray(3, 5, 1));
+  EXPECT_FALSE(method1_gray(5, 6, 7));
+}
+
+TEST(Coverage, Method2PaperExamples) {
+  // Section 5: a 5x10x11 mesh has more than one unit relative expansion;
+  // the 6x11x7 mesh has none.
+  EXPECT_TRUE(method2_pair(5, 10, 11));
+  EXPECT_FALSE(method2_pair(6, 11, 7));
+  EXPECT_FALSE(method1_gray(6, 11, 7));
+  // 5x6x7: pairing the first two axes works (32 * 8 = 256 = ceil2(210)).
+  EXPECT_TRUE(method2_pair(5, 6, 7));
+}
+
+TEST(Coverage, Method2AxisChoiceRule) {
+  // The paper's rule: pick the two axes with the smallest l / ceil2(l).
+  // For 5x6x7 those are 5 (0.625) and 6 (0.75): ceil2(30)*ceil2(7) = 256.
+  EXPECT_EQ(ceil_pow2(u64{5} * 6) * ceil_pow2(7), ceil_pow2(u64{5} * 6 * 7));
+  // Pairing 6,7 instead fails: ceil2(42)*ceil2(5) = 64*8 = 512.
+  EXPECT_NE(ceil_pow2(u64{6} * 7) * ceil_pow2(5), ceil_pow2(u64{5} * 6 * 7));
+}
+
+TEST(Coverage, Method3Patterns) {
+  EXPECT_TRUE(method3_small3d(3, 3, 3));
+  EXPECT_TRUE(method3_small3d(3, 3, 7));
+  EXPECT_TRUE(method3_small3d(6, 12, 3));    // 3*2^a pattern
+  EXPECT_TRUE(method3_small3d(7, 6, 6));     // 3,3,7 permuted and scaled
+  EXPECT_TRUE(method3_small3d(6, 6, 11));    // extends to 6x6x12, Q9 = ceil2(396)
+  EXPECT_TRUE(method3_small3d(3, 3, 9));     // extends to 3x3x12, Q7 = ceil2(81)
+  EXPECT_FALSE(method3_small3d(2, 2, 2));    // patterns overshoot the cube
+  EXPECT_FALSE(method3_small3d(5, 5, 5));    // 6x6x6 needs Q8, minimal is Q7
+  // 3x3x3 itself is not reachable by methods 1-2.
+  EXPECT_FALSE(method1_gray(3, 3, 3));
+  EXPECT_FALSE(method2_pair(3, 3, 3));
+}
+
+TEST(Coverage, Method4PaperExample) {
+  // 3x3x23 extends to 3x3x25 and decomposes as (3x5) x (3x5):
+  // split axis 3 as 5*5 >= 23, ceil2(3*5) * ceil2(5*3) = 16*16 = 256 =
+  // ceil2(207). (Extended method 3 reaches it too, via 3x3x24.)
+  auto w = method4_split(3, 3, 23);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(method1_gray(3, 3, 23));
+  EXPECT_FALSE(method2_pair(3, 3, 23));
+}
+
+TEST(Coverage, Method4OnlyShape) {
+  // 3x9x33 splits 33 = 5*7 (with extension to 35): ceil2(3*5) * ceil2(7*9)
+  // = 16 * 64 = 1024 = ceil2(891); no earlier method reaches it.
+  EXPECT_FALSE(method1_gray(3, 9, 33));
+  EXPECT_FALSE(method2_pair(3, 9, 33));
+  EXPECT_FALSE(method3_small3d(3, 9, 33));
+  ASSERT_TRUE(method4_split(3, 9, 33).has_value());
+}
+
+TEST(Coverage, Method4WitnessIsSound) {
+  // Any witness must satisfy the defining arithmetic identity.
+  for (u64 l1 : {u64{3}, u64{5}, u64{9}, u64{23}}) {
+    for (u64 l2 : {u64{3}, u64{7}, u64{21}}) {
+      for (u64 l3 : {u64{5}, u64{11}, u64{23}}) {
+        auto w = method4_split(l1, l2, l3);
+        if (!w) continue;
+        const u64 l[3] = {l1, l2, l3};
+        EXPECT_GE(w->lp * w->lpp, l[w->split_axis]);
+        EXPECT_EQ(ceil_pow2(l[w->axis_lo] * w->lp) *
+                      ceil_pow2(w->lpp * l[w->axis_hi]),
+                  ceil_pow2(l1 * l2 * l3))
+            << l1 << "x" << l2 << "x" << l3;
+      }
+    }
+  }
+}
+
+TEST(Coverage, FirstMethodOrdering) {
+  EXPECT_EQ(first_method(4, 8, 2), 1u);
+  EXPECT_EQ(first_method(5, 6, 7), 2u);
+  EXPECT_EQ(first_method(3, 3, 3), 3u);
+  EXPECT_EQ(first_method(3, 3, 23), 3u);  // extended method 3
+  EXPECT_EQ(first_method(3, 9, 33), 4u);
+  EXPECT_EQ(first_method(5, 5, 5), 0u);  // the paper's open shape
+}
+
+TEST(Coverage, PaperOpenShapesAreUncovered) {
+  // Section 5 lists the <=256-node meshes with no known minimal-expansion
+  // dilation-2 embedding; none may be covered by methods 1-4.
+  EXPECT_EQ(first_method(5, 5, 5), 0u);
+  EXPECT_EQ(first_method(5, 7, 7), 0u);
+  EXPECT_EQ(first_method(3, 9, 9), 0u);
+  EXPECT_EQ(first_method(5, 5, 10), 0u);
+  EXPECT_EQ(first_method(3, 5, 17), 0u);
+}
+
+TEST(Coverage, AllOtherSmall3DMeshesAreCovered) {
+  // Conversely, every mesh of <= 256 nodes other than those five (and
+  // permutations) must be covered — this is exactly the paper's claim.
+  for (u64 a = 1; a <= 256; ++a)
+    for (u64 b = a; a * b <= 256; ++b)
+      for (u64 c = b; a * b * c <= 256; ++c) {
+        const bool open =
+            (a == 5 && b == 5 && c == 5) || (a == 5 && b == 7 && c == 7) ||
+            (a == 3 && b == 9 && c == 9) || (a == 5 && b == 5 && c == 10) ||
+            (a == 3 && b == 5 && c == 17);
+        EXPECT_EQ(first_method(a, b, c) == 0, open)
+            << a << "x" << b << "x" << c;
+      }
+}
+
+TEST(Coverage, SweepSmallSidesExact) {
+  // n = 1: all 8 meshes have power-of-two axes.
+  SweepCounts c1 = sweep_3d(1);
+  EXPECT_EQ(c1.total, 8u);
+  EXPECT_EQ(c1.by_method[1], 8u);
+  // n = 2 by brute force: 64 meshes, only 3x3x3 needs method 3 beyond
+  // methods 1-2... verify against a direct recount.
+  SweepCounts c2 = sweep_3d(2);
+  EXPECT_EQ(c2.total, 64u);
+  std::array<u64, 5> recount{};
+  for (u64 a = 1; a <= 4; ++a)
+    for (u64 b = 1; b <= 4; ++b)
+      for (u64 q = 1; q <= 4; ++q) ++recount[first_method(a, b, q)];
+  EXPECT_EQ(c2.by_method, recount);
+}
+
+TEST(Coverage, SweepSymmetryWeighting) {
+  // The sorted-triple sweep must equal brute force for n = 3 too.
+  SweepCounts c = sweep_3d(3);
+  std::array<u64, 5> recount{};
+  for (u64 a = 1; a <= 8; ++a)
+    for (u64 b = 1; b <= 8; ++b)
+      for (u64 q = 1; q <= 8; ++q) ++recount[first_method(a, b, q)];
+  EXPECT_EQ(c.by_method, recount);
+  EXPECT_EQ(c.total, 512u);
+}
+
+TEST(Coverage, CumulativePercentMonotone) {
+  SweepCounts c = sweep_3d(4);
+  double prev = 0;
+  for (u32 i = 1; i <= 4; ++i) {
+    EXPECT_GE(c.cumulative_percent(i), prev);
+    prev = c.cumulative_percent(i);
+  }
+  EXPECT_LE(prev, 100.0);
+}
+
+// The headline reproduction: the paper's cumulative percentages at n = 9
+// are 28.5 / 81.5 / 82.9 / 96.1. The full sweep runs in seconds and is
+// exercised by bench/fig2_coverage; here we check n = 6 stays stable and
+// consistent (regression guard for the method predicates).
+TEST(Coverage, SweepN6Regression) {
+  SweepCounts c = sweep_3d(6);
+  EXPECT_NEAR(c.cumulative_percent(1), 37.8, 0.1);
+  EXPECT_NEAR(c.cumulative_percent(2), 85.6, 0.1);
+  EXPECT_NEAR(c.cumulative_percent(3), 88.1, 0.1);
+  EXPECT_NEAR(c.cumulative_percent(4), 93.2, 0.1);
+}
+
+TEST(CoverageKd, PartitionBlocksMatch3DMethods) {
+  // For k = 3, covered_kd must agree with first_method (plus the pair and
+  // single partitions, which first_method's methods 1-2 already contain).
+  for (u64 a = 1; a <= 12; ++a)
+    for (u64 b = a; b <= 12; ++b)
+      for (u64 c = b; c <= 12; ++c) {
+        const bool kd = covered_kd(Shape{a, b, c});
+        const bool m = first_method(a, b, c) != 0;
+        EXPECT_EQ(kd, m) << a << "x" << b << "x" << c;
+      }
+}
+
+TEST(CoverageKd, FourDimensionalExamples) {
+  // 3x5x3x5 = (3x5) x (3x5): two Chan pairs, ceil2(15)^2 = 256 = ceil2(225).
+  EXPECT_TRUE(covered_kd(Shape{3, 5, 3, 5}));
+  // 12x16x20x32: Gray on 16 and 32, pairs on (12,20).
+  EXPECT_TRUE(covered_kd(Shape{12, 16, 20, 32}));
+  // 5x5x5x5: pairs give ceil2(25)^2 = 1024 > ceil2(625) = 1024... holds!
+  EXPECT_TRUE(covered_kd(Shape{5, 5, 5, 5}));
+  // 5x5x5x7 = 875 -> Q10: the only unit-expansion partition is
+  // (5x5x5) x (7), and 5x5x5 is open under the paper's methods — not
+  // covered. (With this library's 5x5x5 witness it would be: Corollary 1
+  // gives 128 * 8 = 1024 = ceil2(875).)
+  EXPECT_FALSE(covered_kd(Shape{5, 5, 5, 7}));
+}
+
+TEST(CoverageKd, UncoveredExample) {
+  // 5x7x7 is open even in 3-D; padding with a unit axis must not help.
+  EXPECT_FALSE(covered_kd(Shape{5, 7, 7, 1}));
+}
+
+TEST(CoverageKd, SweepMatchesBruteForce) {
+  const KdSweep s = sweep_kd(4, 2);
+  EXPECT_EQ(s.total, 256u);
+  u64 brute = 0;
+  for (u64 a = 1; a <= 4; ++a)
+    for (u64 b = 1; b <= 4; ++b)
+      for (u64 c = 1; c <= 4; ++c)
+        for (u64 d = 1; d <= 4; ++d)
+          if (covered_kd(Shape{a, b, c, d})) ++brute;
+  EXPECT_EQ(s.covered, brute);
+}
+
+TEST(CoverageKd, MajorityConjectureHolds) {
+  // The paper's Summary conjecture, at the sizes the test budget allows.
+  EXPECT_GT(sweep_kd(4, 4).percent(), 50.0);
+  EXPECT_GT(sweep_kd(5, 3).percent(), 50.0);
+}
+
+}  // namespace
+}  // namespace hj::coverage

@@ -1,0 +1,151 @@
+#include "core/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+
+namespace hj {
+namespace {
+
+// --- Gray code embedding: the Section 3.1 baseline. ---
+
+class GrayEmbeddingShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GrayEmbeddingShapes, DilationOneCongestionOne) {
+  GrayEmbedding emb{Mesh(GetParam())};
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_LE(r.dilation, 1u);
+  EXPECT_LE(r.congestion, 1u);
+  EXPECT_EQ(r.load_factor, 1u);
+  EXPECT_EQ(emb.host_dim(), GetParam().gray_cube_dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GrayEmbeddingShapes,
+    ::testing::Values(Shape{1}, Shape{2}, Shape{7}, Shape{8}, Shape{3, 5},
+                      Shape{4, 4}, Shape{5, 6, 7}, Shape{2, 3, 4, 5},
+                      Shape{16, 16}, Shape{9, 1, 3}),
+    [](const auto& param_info) {
+      std::string s = param_info.param.to_string();
+      for (auto& c : s)
+        if (c == 'x') c = '_';
+      return s;
+    });
+
+TEST(GrayEmbedding, MinimalExpansionOnlyForNiceShapes) {
+  EXPECT_TRUE(GrayEmbedding{Mesh(Shape{4, 8})}.minimal_expansion());
+  // 3x5 = 15 nodes fit a Q4, but Gray rounds each axis: 4*8 = Q5. This is
+  // the gap the paper's direct embeddings close.
+  EXPECT_FALSE(GrayEmbedding{Mesh(Shape{3, 5})}.minimal_expansion());
+  // 3x6 = 18 -> ceil2 is 32 = 4*8: Gray happens to be minimal here.
+  EXPECT_TRUE(GrayEmbedding{Mesh(Shape{3, 6})}.minimal_expansion());
+  // 5x6x7 = 210 needs 8 bits, Gray uses 9.
+  EXPECT_FALSE(GrayEmbedding{Mesh(Shape{5, 6, 7})}.minimal_expansion());
+}
+
+TEST(GrayEmbedding, MapMatchesConcatenatedAxisCodes) {
+  GrayEmbedding emb{Mesh(Shape{3, 5})};  // 2 + 3 bits
+  const Shape& s = emb.guest().shape();
+  for (MeshIndex i = 0; i < s.num_nodes(); ++i) {
+    Coord c = s.coord(i);
+    EXPECT_EQ(emb.map(i), (gray(c[0]) << 3) | gray(c[1]));
+  }
+}
+
+TEST(GrayEmbedding, PowerOfTwoTorusWrapsWithDilationOne) {
+  GrayEmbedding emb{Mesh::torus(Shape{8, 4})};
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.dilation, 1u);
+}
+
+TEST(GrayEmbedding, RejectsNonPow2Torus) {
+  EXPECT_THROW(GrayEmbedding{Mesh::torus(Shape{5, 4})}, std::invalid_argument);
+}
+
+// --- Explicit embeddings. ---
+
+TEST(ExplicitEmbedding, MapAndDefaultRouting) {
+  // 3-node line into Q2: 0 -> 00, 1 -> 11, 2 -> 01. Edge (0,1) dilates to 2.
+  ExplicitEmbedding emb{Mesh(Shape{3}), 2, {0b00, 0b11, 0b01}};
+  EXPECT_EQ(emb.map(1), 0b11u);
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.dilation, 2u);
+  EXPECT_EQ(r.avg_dilation, 1.5);
+}
+
+TEST(ExplicitEmbedding, PathOverrideChangesCongestion) {
+  ExplicitEmbedding emb{Mesh(Shape{3}), 2, {0b00, 0b11, 0b01}};
+  // Route edge (0,1) through 10 instead of the e-cube route through 01;
+  // then the cube edge (01,11) is no longer shared.
+  MeshEdge e01{0, 1, 0, false};
+  emb.set_edge_path(e01, CubePath{0b00, 0b10, 0b11});
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.congestion, 1u);
+  EXPECT_EQ(emb.edge_path(e01)[1], 0b10u);
+}
+
+TEST(ExplicitEmbedding, RejectsBadPathOverride) {
+  ExplicitEmbedding emb{Mesh(Shape{3}), 2, {0b00, 0b11, 0b01}};
+  MeshEdge e01{0, 1, 0, false};
+  // Wrong endpoint.
+  EXPECT_THROW(emb.set_edge_path(e01, CubePath{0b00, 0b10}),
+               std::invalid_argument);
+  // Not a cube path (a diagonal hop).
+  EXPECT_THROW(emb.set_edge_path(e01, CubePath{0b00, 0b11}),
+               std::invalid_argument);
+}
+
+TEST(ExplicitEmbedding, RejectsWrongSizeOrRange) {
+  EXPECT_THROW((ExplicitEmbedding{Mesh(Shape{3}), 2, {0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((ExplicitEmbedding{Mesh(Shape{3}), 2, {0, 1, 4}}),
+               std::invalid_argument);
+}
+
+TEST(Embedding, ExpansionArithmetic) {
+  ExplicitEmbedding emb{Mesh(Shape{3}), 2, {0, 1, 3}};
+  EXPECT_DOUBLE_EQ(emb.expansion(), 4.0 / 3.0);
+  EXPECT_TRUE(emb.minimal_expansion());
+  ExplicitEmbedding big{Mesh(Shape{3}), 3, {0, 1, 3}};
+  EXPECT_FALSE(big.minimal_expansion());
+}
+
+TEST(NeighborRoute, ForwardAndReverseAgree) {
+  GrayEmbedding emb{Mesh(Shape{3, 5})};
+  const Shape& s = emb.guest().shape();
+  const MeshIndex u = s.index(Coord{1, 2});
+  const MeshIndex w = s.index(Coord{1, 3});
+  CubePath fwd = neighbor_route(emb, u, w);
+  CubePath rev = neighbor_route(emb, w, u);
+  EXPECT_EQ(fwd.front(), emb.map(u));
+  EXPECT_EQ(fwd.back(), emb.map(w));
+  rev.reverse();
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(NeighborRoute, WrapEdges) {
+  GrayEmbedding emb{Mesh::torus(Shape{8})};
+  CubePath p = neighbor_route(emb, 7, 0);   // the wrap edge, forward
+  EXPECT_EQ(p.front(), emb.map(7));
+  EXPECT_EQ(p.back(), emb.map(0));
+  EXPECT_EQ(p.size(), 2u);  // cyclic Gray: one hop
+  CubePath q = neighbor_route(emb, 0, 7);   // and backward
+  EXPECT_EQ(q.front(), emb.map(0));
+  EXPECT_EQ(q.back(), emb.map(7));
+}
+
+TEST(NeighborRoute, RejectsNonNeighbors) {
+  GrayEmbedding emb{Mesh(Shape{4, 4})};
+  EXPECT_THROW((void)neighbor_route(emb, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)neighbor_route(emb, 0, 5), std::invalid_argument);
+  // 0 and 3 are not wrap-adjacent on an unwrapped axis.
+  GrayEmbedding line{Mesh(Shape{4})};
+  EXPECT_THROW((void)neighbor_route(line, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hj

@@ -1,0 +1,68 @@
+#include "core/gray.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hj {
+namespace {
+
+TEST(Gray, ConsecutiveCodesAreAdjacent) {
+  for (u64 i = 0; i + 1 < 4096; ++i) {
+    EXPECT_EQ(hamming(gray(i), gray(i + 1)), 1u) << "at i=" << i;
+  }
+}
+
+TEST(Gray, IsPermutationOfRange) {
+  std::vector<bool> seen(1 << 10, false);
+  for (u64 i = 0; i < (1 << 10); ++i) {
+    u64 g = gray(i);
+    ASSERT_LT(g, seen.size());
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+TEST(Gray, InverseRoundTrip) {
+  for (u64 i = 0; i < 4096; ++i) {
+    EXPECT_EQ(gray_inverse(gray(i)), i);
+    EXPECT_EQ(gray(gray_inverse(i)), i);
+  }
+  // Large values too.
+  for (u64 i = (u64{1} << 40); i < (u64{1} << 40) + 100; ++i)
+    EXPECT_EQ(gray_inverse(gray(i)), i);
+}
+
+TEST(Gray, CyclicClosure) {
+  // G(2^n - 1) and G(0) differ in one bit: Gray codes embed rings of
+  // power-of-two length with dilation one.
+  for (u32 n = 1; n <= 16; ++n) {
+    EXPECT_EQ(hamming(gray((u64{1} << n) - 1), gray(0)), 1u) << "n=" << n;
+  }
+}
+
+TEST(Gray, ReflectedGrayMeetsAtCopyBoundary) {
+  // The key identity behind Corollary 2: the seam between copy y and copy
+  // y+1 joins the END of one traversal to the START of the next, and the
+  // reflection makes those codewords equal:
+  //   G~(2t,   2^n - 1) == G~(2t+1, 0)        (even copy end = odd start)
+  //   G~(2t+1, 2^n - 1) == G~(2t+2, 0)        (odd copy end = even start)
+  const u32 n = 5;
+  const u64 top = (u64{1} << n) - 1;
+  for (u64 t = 0; t < 8; ++t) {
+    EXPECT_EQ(reflected_gray(2 * t, top, n), reflected_gray(2 * t + 1, 0, n));
+    EXPECT_EQ(reflected_gray(2 * t + 1, top, n),
+              reflected_gray(2 * t + 2, 0, n));
+  }
+}
+
+TEST(Gray, ReflectedGrayStaysAdjacentWithinCopy) {
+  const u32 n = 4;
+  for (u64 y = 0; y < 4; ++y) {
+    for (u64 x = 0; x + 1 < (u64{1} << n); ++x) {
+      EXPECT_EQ(hamming(reflected_gray(y, x, n), reflected_gray(y, x + 1, n)),
+                1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hj

@@ -1,0 +1,71 @@
+#include "core/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hj {
+namespace {
+
+TEST(Hypercube, Counts) {
+  Hypercube q0(0), q3(3), q10(10);
+  EXPECT_EQ(q0.num_nodes(), 1u);
+  EXPECT_EQ(q0.num_edges(), 0u);
+  EXPECT_EQ(q3.num_nodes(), 8u);
+  EXPECT_EQ(q3.num_edges(), 12u);
+  EXPECT_EQ(q10.num_nodes(), 1024u);
+  EXPECT_EQ(q10.num_edges(), 5120u);
+}
+
+TEST(Hypercube, Adjacency) {
+  EXPECT_TRUE(Hypercube::adjacent(0b000, 0b100));
+  EXPECT_FALSE(Hypercube::adjacent(0b000, 0b110));
+  EXPECT_FALSE(Hypercube::adjacent(5, 5));
+  EXPECT_EQ(Hypercube::neighbor(0b1010, 0), 0b1011u);
+  EXPECT_EQ(Hypercube::neighbor(0b1010, 3), 0b0010u);
+}
+
+TEST(Hypercube, EcubePathIsShortestAndValid) {
+  for (CubeNode a = 0; a < 32; ++a) {
+    for (CubeNode b = 0; b < 32; ++b) {
+      CubePath p = Hypercube::ecube_path(a, b);
+      ASSERT_GE(p.size(), 1u);
+      EXPECT_EQ(p.front(), a);
+      EXPECT_EQ(p.back(), b);
+      EXPECT_EQ(p.size() - 1, hamming(a, b));
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_TRUE(Hypercube::adjacent(p[i], p[i + 1]));
+    }
+  }
+}
+
+TEST(Hypercube, EcubePathFixesLowBitsFirst) {
+  CubePath p = Hypercube::ecube_path(0b000, 0b101);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 0b001u);
+  EXPECT_EQ(p[2], 0b101u);
+}
+
+TEST(Hypercube, EdgeKeyIsUniquePerEdge) {
+  Hypercube q(5);
+  std::set<u64> keys;
+  for (CubeNode v = 0; v < q.num_nodes(); ++v) {
+    for (u32 b = 0; b < q.dim(); ++b) {
+      CubeNode w = Hypercube::neighbor(v, b);
+      if (v < w) {
+        EXPECT_TRUE(keys.insert(Hypercube::edge_key(v, w)).second);
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), q.num_edges());
+  // Symmetric in argument order.
+  EXPECT_EQ(Hypercube::edge_key(3, 7), Hypercube::edge_key(7, 3));
+}
+
+TEST(Hypercube, DimensionLimit) {
+  EXPECT_THROW(Hypercube(64), std::invalid_argument);
+  EXPECT_NO_THROW(Hypercube(63));
+}
+
+}  // namespace
+}  // namespace hj

@@ -1,0 +1,107 @@
+// Tests for embedding serialization.
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/direct.hpp"
+#include "core/product.hpp"
+#include "core/verify.hpp"
+#include "torus/torus.hpp"
+
+namespace hj::io {
+namespace {
+
+void expect_same_metrics(const Embedding& a, const Embedding& b) {
+  const VerifyReport ra = verify(a), rb = verify(b);
+  EXPECT_TRUE(rb.valid) << (rb.errors.empty() ? "" : rb.errors[0]);
+  EXPECT_EQ(ra.dilation, rb.dilation);
+  EXPECT_DOUBLE_EQ(ra.avg_dilation, rb.avg_dilation);
+  EXPECT_EQ(ra.congestion, rb.congestion);
+  EXPECT_DOUBLE_EQ(ra.avg_congestion, rb.avg_congestion);
+  EXPECT_EQ(ra.host_dim, rb.host_dim);
+  for (MeshIndex i = 0; i < a.guest().num_nodes(); ++i)
+    ASSERT_EQ(a.map(i), b.map(i)) << "node " << i;
+}
+
+TEST(Io, RoundTripGray) {
+  GrayEmbedding emb{Mesh(Shape{3, 5})};
+  auto back = from_text(to_text(emb));
+  expect_same_metrics(emb, *back);
+}
+
+TEST(Io, RoundTripDirectTableWithPaths) {
+  // Direct tables carry congestion-routed paths; the round trip must
+  // preserve the congestion exactly (not just the node map).
+  auto emb = direct_embedding(Shape{7, 9});
+  ASSERT_TRUE(emb.has_value());
+  auto back = from_text(to_text(**emb));
+  expect_same_metrics(**emb, *back);
+}
+
+TEST(Io, RoundTripProduct) {
+  auto d = *direct_embedding(Shape{3, 5});
+  auto g = std::make_shared<GrayEmbedding>(Mesh(Shape{4, 2}));
+  MeshProductEmbedding prod(g, d);
+  auto back = from_text(to_text(prod));
+  expect_same_metrics(prod, *back);
+}
+
+TEST(Io, RoundTripTorus) {
+  torus::TorusPlanner planner;
+  PlanResult r = planner.plan(Shape{6, 10});
+  auto back = from_text(to_text(*r.embedding));
+  expect_same_metrics(*r.embedding, *back);
+  EXPECT_TRUE(back->guest().wraps(0));
+  EXPECT_TRUE(back->guest().wraps(1));
+}
+
+TEST(Io, FormatIsStable) {
+  GrayEmbedding emb{Mesh(Shape{2, 2})};
+  const std::string text = to_text(emb);
+  EXPECT_NE(text.find("hjembed 1\n"), std::string::npos);
+  EXPECT_NE(text.find("shape 2 2\n"), std::string::npos);
+  EXPECT_NE(text.find("cube 2\n"), std::string::npos);
+  EXPECT_NE(text.find("map 0 1 2 3\n"), std::string::npos);
+  EXPECT_NE(text.find("end\n"), std::string::npos);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_text(""), std::invalid_argument);
+  EXPECT_THROW((void)from_text("hjembed 2\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text("hjembed 1\nshape 3 5\nwrap 0 0\ncube 4\n"
+                               "map 0 1\nend\n"),
+               std::invalid_argument);  // short map
+  EXPECT_THROW((void)from_text("hjembed 1\nshape 2\nwrap 0\ncube 1\n"
+                               "map 0 1\nbogus\n"),
+               std::invalid_argument);
+  // A path that does not follow cube links.
+  EXPECT_THROW((void)from_text("hjembed 1\nshape 2\nwrap 0\ncube 2\n"
+                               "map 0 3\npath 0 0 0 0 3\nend\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, RejectsOutOfCubeMap) {
+  EXPECT_THROW((void)from_text("hjembed 1\nshape 2\nwrap 0\ncube 1\n"
+                               "map 0 2\nend\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, SaveLoadFile) {
+  auto emb = direct_embedding(Shape{3, 3, 3});
+  ASSERT_TRUE(emb.has_value());
+  const std::string file = ::testing::TempDir() + "/hj_io_test.hje";
+  save(**emb, file);
+  auto back = load(file);
+  expect_same_metrics(**emb, *back);
+  std::remove(file.c_str());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load("/nonexistent/definitely/missing.hje"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hj::io

@@ -1,0 +1,117 @@
+#include "core/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace hj {
+namespace {
+
+TEST(Mesh, EdgeCountMatchesFormula) {
+  // A k-D l1 x ... x lk mesh has sum_i (l_i - 1) * prod_{j != i} l_j edges.
+  Mesh m(Shape{3, 5, 7});
+  EXPECT_EQ(m.num_edges(), 2u * 35 + 4u * 21 + 6u * 15);
+}
+
+TEST(Mesh, ForEachEdgeVisitsEachOnce) {
+  Mesh m(Shape{4, 5});
+  std::set<std::pair<MeshIndex, MeshIndex>> seen;
+  u64 count = 0;
+  m.for_each_edge([&](const MeshEdge& e) {
+    ++count;
+    auto key = std::minmax(e.a, e.b);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate edge";
+    EXPECT_LT(e.a, m.num_nodes());
+    EXPECT_LT(e.b, m.num_nodes());
+  });
+  EXPECT_EQ(count, m.num_edges());
+}
+
+TEST(Mesh, EdgesConnectAdjacentCoords) {
+  Mesh m(Shape{3, 4, 2});
+  m.for_each_edge([&](const MeshEdge& e) {
+    Coord ca = m.shape().coord(e.a);
+    Coord cb = m.shape().coord(e.b);
+    u32 diffs = 0;
+    for (u32 i = 0; i < m.dims(); ++i) {
+      if (ca[i] != cb[i]) {
+        ++diffs;
+        EXPECT_EQ(i, e.axis);
+        EXPECT_FALSE(e.wrap);
+        EXPECT_EQ(cb[i], ca[i] + 1);
+      }
+    }
+    EXPECT_EQ(diffs, 1u);
+  });
+}
+
+TEST(Mesh, TorusEdgeCount) {
+  // A wrapped axis of length l > 2 contributes l edges per line.
+  Mesh t = Mesh::torus(Shape{3, 5});
+  EXPECT_EQ(t.num_edges(), 3u * 5 + 5u * 3);
+}
+
+TEST(Mesh, TorusLengthTwoAxisHasSingleEdge) {
+  // Wrap on a length-2 axis must not create a double edge.
+  Mesh t = Mesh::torus(Shape{2, 4});
+  EXPECT_EQ(t.num_edges(), 1u * 4 + 4u * 2);
+}
+
+TEST(Mesh, TorusLengthOneAxisHasNoEdge) {
+  Mesh t = Mesh::torus(Shape{1, 4});
+  EXPECT_EQ(t.num_edges(), 4u);
+}
+
+TEST(Mesh, WrapEdgeOrientation) {
+  Mesh t = Mesh::torus(Shape{5});
+  bool saw_wrap = false;
+  t.for_each_edge([&](const MeshEdge& e) {
+    if (e.wrap) {
+      saw_wrap = true;
+      EXPECT_EQ(e.a, 4u);  // high-coordinate end first
+      EXPECT_EQ(e.b, 0u);
+    }
+  });
+  EXPECT_TRUE(saw_wrap);
+}
+
+TEST(Mesh, NeighborsAreSymmetric) {
+  Mesh m = Mesh::torus(Shape{4, 3});
+  for (MeshIndex i = 0; i < m.num_nodes(); ++i) {
+    for (MeshIndex j : m.neighbors(i)) {
+      auto back = m.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end())
+          << i << " -> " << j << " not symmetric";
+    }
+  }
+}
+
+TEST(Mesh, NeighborCountsInteriorAndCorner) {
+  Mesh m(Shape{3, 3});
+  EXPECT_EQ(m.neighbors(4).size(), 4u);  // center
+  EXPECT_EQ(m.neighbors(0).size(), 2u);  // corner
+  Mesh t = Mesh::torus(Shape{3, 3});
+  EXPECT_EQ(t.neighbors(0).size(), 4u);  // torus has no corners
+}
+
+TEST(Mesh, NeighborsMatchEdges) {
+  Mesh m = Mesh::torus(Shape{4, 5});
+  std::map<MeshIndex, std::set<MeshIndex>> adj;
+  m.for_each_edge([&](const MeshEdge& e) {
+    adj[e.a].insert(e.b);
+    adj[e.b].insert(e.a);
+  });
+  for (MeshIndex i = 0; i < m.num_nodes(); ++i) {
+    std::set<MeshIndex> from_nb;
+    for (MeshIndex j : m.neighbors(i)) from_nb.insert(j);
+    EXPECT_EQ(from_nb, adj[i]) << "node " << i;
+  }
+}
+
+TEST(Mesh, WrapFlagsRankMismatchThrows) {
+  EXPECT_THROW(Mesh(Shape{3, 4}, SmallVec<u8, 4>{1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hj

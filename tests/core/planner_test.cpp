@@ -1,0 +1,184 @@
+// Tests for the embedding planner (Section 4.2 strategy).
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "search/provider.hpp"
+
+namespace hj {
+namespace {
+
+Planner make_planner(bool with_search = true) {
+  Planner p;
+  if (with_search) p.set_direct_provider(search::make_search_provider());
+  return p;
+}
+
+TEST(Planner, GrayWhenAlreadyMinimal) {
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{4, 8, 2});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_EQ(r.report.dilation, 1u);
+  EXPECT_TRUE(r.report.minimal_expansion);
+  EXPECT_NE(r.plan.find("gray"), std::string::npos);
+}
+
+TEST(Planner, DirectTableShapes) {
+  Planner p = make_planner(false);
+  for (Shape s : {Shape{3, 5}, Shape{7, 9}, Shape{3, 3, 7}}) {
+    PlanResult r = p.plan(s);
+    EXPECT_TRUE(r.report.valid);
+    EXPECT_TRUE(r.report.minimal_expansion) << s.to_string();
+    EXPECT_LE(r.report.dilation, 2u);
+    EXPECT_NE(r.plan.find("direct"), std::string::npos);
+  }
+}
+
+TEST(Planner, DecompositionExample12x20) {
+  // Section 4.2: 12 x 20 reduces to (3x5) x (4x4).
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{12, 20});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);  // 240 nodes in Q8
+  EXPECT_LE(r.report.dilation, 2u);
+  EXPECT_LE(r.report.congestion, 2u);
+}
+
+TEST(Planner, DecompositionExample3x25x3) {
+  // Section 4.2: 3 x 25 x 3 reduces to two 3x5 embeddings: 225 -> Q8.
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{3, 25, 3});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);
+  EXPECT_LE(r.report.dilation, 2u);
+}
+
+TEST(Planner, ExtensionExample3x3x23) {
+  // Section 4.2 strategy 3: 3x3x23 extends to 3x3x25.
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{3, 3, 23});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);  // 207 nodes in Q8
+  EXPECT_LE(r.report.dilation, 2u);
+  EXPECT_NE(r.plan.find("sub<3x3x23>"), std::string::npos);
+}
+
+TEST(Planner, PaperExample21x9x5) {
+  // Section 4.2: 21x9x5 via (7x9x1) x (3x1x5): 945 nodes in Q10.
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{21, 9, 5});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);
+  EXPECT_LE(r.report.dilation, 2u);
+  EXPECT_LE(r.report.congestion, 2u);
+}
+
+TEST(Planner, PatternExtension6x6x11) {
+  // 6x6x11 is reachable only by extending every axis to the 3*2^a form
+  // (Figure 2 method 3): 6x6x12 = (2x2x4 gray) x (3x3x3 direct).
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{6, 6, 11});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);  // 396 nodes in Q9
+  EXPECT_LE(r.report.dilation, 2u);
+}
+
+TEST(Planner, ExtensionUnlocks5x5WithoutSearch) {
+  // 5x5 rides inside 6x5 = (2x1 gray) * (3x5 direct): minimal Q5,
+  // dilation 2 — the planner finds this without any searcher attached.
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{5, 5});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);
+  EXPECT_LE(r.report.dilation, 2u);
+}
+
+TEST(Planner, SearchProviderUnlocks5x5x5) {
+  // 5x5x5 is the paper's open shape: no method of Section 5 reaches it,
+  // and neither does the planner without a searcher. Backtracking finds a
+  // dilation-2 witness in Q7 (resolving the paper's open question).
+  Planner without = make_planner(false);
+  EXPECT_FALSE(without.achieves_minimal_dil2(Shape{5, 5, 5}));
+  Planner with = make_planner(true);
+  PlanResult r = with.plan(Shape{5, 5, 5});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.minimal_expansion);
+  EXPECT_LE(r.report.dilation, 2u);
+  EXPECT_NE(r.plan.find("search"), std::string::npos);
+}
+
+TEST(Planner, FallbackIsStillValid) {
+  // 13x19 = 247: prime axes, no extension fits, search skipped (too big
+  // with the default provider cap): planner falls back to Gray.
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{13, 19});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_FALSE(r.report.minimal_expansion);
+  EXPECT_EQ(r.report.dilation, 1u);
+  EXPECT_DOUBLE_EQ(r.report.expansion, 512.0 / 247.0);
+}
+
+TEST(Planner, NeverExceedsDilationTwo) {
+  Planner p = make_planner(false);
+  for (u64 a = 1; a <= 9; ++a) {
+    for (u64 b = a; b <= 9; ++b) {
+      PlanResult r = p.plan(Shape{a, b});
+      EXPECT_TRUE(r.report.valid) << a << "x" << b;
+      EXPECT_LE(r.report.dilation, 2u) << a << "x" << b;
+    }
+  }
+}
+
+TEST(Planner, MemoizationIsConsistent) {
+  Planner p = make_planner(false);
+  PlanResult r1 = p.plan(Shape{12, 20});
+  PlanResult r2 = p.plan(Shape{12, 20});
+  EXPECT_EQ(r1.report.dilation, r2.report.dilation);
+  EXPECT_EQ(r1.report.host_dim, r2.report.host_dim);
+  EXPECT_EQ(r1.plan, r2.plan);
+}
+
+TEST(Planner, OneDimensionalAlwaysMinimal) {
+  Planner p = make_planner(false);
+  for (u64 l : {u64{1}, u64{2}, u64{3}, u64{7}, u64{100}, u64{511}}) {
+    PlanResult r = p.plan(Shape{l});
+    EXPECT_TRUE(r.report.minimal_expansion) << l;
+    EXPECT_LE(r.report.dilation, 1u);
+  }
+}
+
+TEST(Planner, SinglePointMesh) {
+  Planner p = make_planner(false);
+  PlanResult r = p.plan(Shape{1, 1, 1});
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_EQ(r.report.host_dim, 0u);
+}
+
+class PlannerCoverage : public ::testing::TestWithParam<Shape> {};
+
+// Shapes the paper's Section 5 pipeline must reach with dilation 2 at
+// minimal expansion, each through a different strategy mix.
+TEST_P(PlannerCoverage, MinimalDilationTwo) {
+  static Planner p = make_planner(true);
+  PlanResult r = p.plan(GetParam());
+  EXPECT_TRUE(r.report.valid) << r.plan;
+  EXPECT_TRUE(r.report.minimal_expansion)
+      << GetParam().to_string() << " plan: " << r.plan;
+  EXPECT_LE(r.report.dilation, 2u) << r.plan;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlannerCoverage,
+    ::testing::Values(Shape{6, 10}, Shape{3, 21}, Shape{14, 18},
+                      Shape{3, 5, 6}, Shape{12, 16, 20}, Shape{9, 15, 1},
+                      Shape{5, 10, 11}, Shape{6, 6, 6}, Shape{10, 14, 18},
+                      Shape{3, 3, 21}),
+    [](const auto& param_info) {
+      std::string s = param_info.param.to_string();
+      for (auto& ch : s)
+        if (ch == 'x') ch = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace hj

@@ -1,0 +1,112 @@
+#include "core/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hj {
+namespace {
+
+TEST(BitUtils, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(5), 8u);
+  EXPECT_EQ(ceil_pow2(63), 64u);
+  EXPECT_EQ(ceil_pow2(64), 64u);
+  EXPECT_EQ(ceil_pow2(65), 128u);
+  EXPECT_EQ(ceil_pow2(u64{1} << 40), u64{1} << 40);
+  EXPECT_EQ(ceil_pow2((u64{1} << 40) + 1), u64{1} << 41);
+}
+
+TEST(BitUtils, Log2) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(512), 9u);
+  EXPECT_EQ(log2_ceil(513), 10u);
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(512), 9u);
+}
+
+TEST(BitUtils, Hamming) {
+  EXPECT_EQ(hamming(0, 0), 0u);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hamming(7, 6), 1u);
+}
+
+TEST(Shape, NodeCountAndDims) {
+  Shape s{3, 5, 7};
+  EXPECT_EQ(s.dims(), 3u);
+  EXPECT_EQ(s.num_nodes(), 105u);
+  EXPECT_EQ(s[0], 3u);
+  EXPECT_EQ(s[2], 7u);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{3, 5, 7};
+  EXPECT_EQ(s.stride(0), 35u);
+  EXPECT_EQ(s.stride(1), 7u);
+  EXPECT_EQ(s.stride(2), 1u);
+}
+
+TEST(Shape, IndexCoordRoundTrip) {
+  Shape s{4, 3, 5};
+  for (MeshIndex i = 0; i < s.num_nodes(); ++i) {
+    EXPECT_EQ(s.index(s.coord(i)), i);
+  }
+  EXPECT_EQ(s.index(Coord{0, 0, 0}), 0u);
+  EXPECT_EQ(s.index(Coord{0, 0, 1}), 1u);
+  EXPECT_EQ(s.index(Coord{1, 0, 0}), 15u);
+  EXPECT_EQ(s.index(Coord{3, 2, 4}), s.num_nodes() - 1);
+}
+
+TEST(Shape, ElementwiseProduct) {
+  Shape a{3, 1, 5};
+  Shape b{7, 9, 1};
+  Shape p = a * b;
+  EXPECT_EQ(p, (Shape{21, 9, 5}));
+}
+
+TEST(Shape, ProductRankMismatchThrows) {
+  EXPECT_THROW((void)(Shape{3, 5} * Shape{3, 5, 7}), std::invalid_argument);
+}
+
+TEST(Shape, FitsIn) {
+  EXPECT_TRUE((Shape{3, 3, 23}).fits_in(Shape{3, 3, 25}));
+  EXPECT_FALSE((Shape{3, 3, 25}).fits_in(Shape{3, 3, 23}));
+  EXPECT_FALSE((Shape{3, 3}).fits_in(Shape{3, 3, 25}));
+}
+
+TEST(Shape, CubeDims) {
+  // 5x6x7: Gray needs 3+3+3 = 9 bits, minimal is ceil(log2 210) = 8.
+  Shape s{5, 6, 7};
+  EXPECT_EQ(s.gray_cube_dim(), 9u);
+  EXPECT_EQ(s.minimal_cube_dim(), 8u);
+  // Powers of two: Gray is minimal.
+  Shape t{4, 8, 2};
+  EXPECT_EQ(t.gray_cube_dim(), t.minimal_cube_dim());
+}
+
+TEST(Shape, SortedSqueezedPadded) {
+  Shape s{7, 1, 3};
+  EXPECT_EQ(s.sorted(), (Shape{1, 3, 7}));
+  EXPECT_EQ(s.squeezed(), (Shape{7, 3}));
+  EXPECT_EQ((Shape{1, 1}).squeezed(), (Shape{1}));
+  EXPECT_EQ((Shape{3, 5}).padded_to(4), (Shape{3, 5, 1, 1}));
+  EXPECT_THROW((Shape{3, 5}).padded_to(1), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{3, 5, 7}).to_string(), "3x5x7");
+  EXPECT_EQ((Shape{11}).to_string(), "11");
+}
+
+TEST(Shape, InvalidExtents) {
+  EXPECT_THROW(Shape{0}, std::invalid_argument);
+  EXPECT_THROW((Shape{3, 0, 5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hj

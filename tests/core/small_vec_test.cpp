@@ -1,0 +1,84 @@
+#include "core/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/common.hpp"
+
+#include <numeric>
+
+namespace hj {
+namespace {
+
+TEST(SmallVec, InlineUse) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVec, SpillsToHeapAndKeepsData) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVec, CopySemantics) {
+  SmallVec<int, 2> v{1, 2, 3, 4, 5};
+  SmallVec<int, 2> w = v;
+  w[0] = 42;
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(w[0], 42);
+  EXPECT_EQ(w.size(), 5u);
+  v = w;
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVec, MoveSemantics) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  SmallVec<int, 2> w = std::move(v);
+  EXPECT_EQ(w.size(), 50u);
+  EXPECT_EQ(w[49], 49);
+  EXPECT_TRUE(v.empty());  // moved-from is reusable
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVec, ResizeAndAssign) {
+  SmallVec<u64, 4> v;
+  v.resize(10, 3);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 3u);
+  v.assign(2, 9);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 9u);
+}
+
+TEST(SmallVec, Reverse) {
+  SmallVec<int, 4> v{1, 2, 3};
+  v.reverse();
+  EXPECT_EQ(v, (SmallVec<int, 4>{3, 2, 1}));
+}
+
+TEST(SmallVec, Equality) {
+  SmallVec<int, 4> a{1, 2, 3};
+  SmallVec<int, 4> b{1, 2, 3};
+  SmallVec<int, 4> c{1, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVec, IteratorConstruction) {
+  std::vector<int> src(20);
+  std::iota(src.begin(), src.end(), 0);
+  SmallVec<int, 4> v(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_EQ(v[19], 19);
+}
+
+}  // namespace
+}  // namespace hj

@@ -1,0 +1,107 @@
+// Tests for the collective-communication schedules.
+#include "hypersim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/direct.hpp"
+#include "torus/torus.hpp"
+
+namespace hj::sim {
+namespace {
+
+TEST(BinomialBroadcast, ReachesEveryNodeExactlyOnce) {
+  const u32 n = 4;
+  Schedule s = binomial_broadcast(n, 5);
+  EXPECT_EQ(s.size(), 15u);  // 2^n - 1 deliveries
+  std::set<CubeNode> reached{5};
+  for (const auto& m : s) {
+    EXPECT_EQ(m.route.size(), 2u);  // single hops
+    EXPECT_TRUE(reached.count(m.route.front())) << "send before receive";
+    EXPECT_TRUE(reached.insert(m.route.back()).second);
+  }
+  EXPECT_EQ(reached.size(), 16u);
+}
+
+TEST(BinomialBroadcast, CompletesInDimRounds) {
+  for (u32 n : {2u, 4u, 6u}) {
+    SimResult r = run_schedule(binomial_broadcast(n, 0), SimConfig{n});
+    EXPECT_EQ(r.cycles, n) << "n=" << n;
+  }
+}
+
+TEST(BinomialBroadcast, StoreAndForwardScalesWithFlits) {
+  SimResult r = run_schedule(
+      binomial_broadcast(4, 0),
+      SimConfig{4, 1, 1'000'000, Switching::StoreAndForward, 8});
+  EXPECT_EQ(r.cycles, 4u * 8u);
+}
+
+TEST(MeshFlood, CompletesInEccentricityOnGray) {
+  // On a dilation-1 embedding the flood takes exactly the mesh
+  // eccentricity of the root (no contention: each edge used once).
+  GrayEmbedding emb{Mesh(Shape{4, 4})};
+  SimResult r = run_schedule(mesh_flood_broadcast(emb, 0),
+                             SimConfig{emb.host_dim()});
+  EXPECT_EQ(r.cycles, 6u);  // corner-to-corner manhattan distance
+  EXPECT_EQ(r.messages, 15u);
+}
+
+TEST(MeshFlood, CenterRootIsFaster) {
+  GrayEmbedding emb{Mesh(Shape{4, 4})};
+  const MeshIndex center = emb.guest().shape().index(Coord{2, 2});
+  SimResult corner = run_schedule(mesh_flood_broadcast(emb, 0),
+                                  SimConfig{emb.host_dim()});
+  SimResult mid = run_schedule(mesh_flood_broadcast(emb, center),
+                               SimConfig{emb.host_dim()});
+  EXPECT_LT(mid.cycles, corner.cycles);
+}
+
+TEST(MeshFlood, WorksOnDilationTwoEmbeddings) {
+  auto emb = direct_embedding(Shape{7, 9});
+  ASSERT_TRUE(emb.has_value());
+  SimResult r = run_schedule(mesh_flood_broadcast(**emb, 0),
+                             SimConfig{(*emb)->host_dim()});
+  EXPECT_EQ(r.messages, 62u);
+  // Eccentricity 14 <= cycles <= 2 * 14 (dilation 2 paths, no contention
+  // beats that comfortably).
+  EXPECT_GE(r.cycles, 14u);
+  EXPECT_LE(r.cycles, 28u);
+}
+
+TEST(MeshFlood, WrapEdgesShortenTorusFloods) {
+  torus::TorusPlanner planner;
+  PlanResult torus = planner.plan(Shape{8, 8});
+  GrayEmbedding open_mesh{Mesh(Shape{8, 8})};
+  SimResult wrapped = run_schedule(mesh_flood_broadcast(*torus.embedding, 0),
+                                   SimConfig{torus.embedding->host_dim()});
+  SimResult open = run_schedule(mesh_flood_broadcast(open_mesh, 0),
+                                SimConfig{open_mesh.host_dim()});
+  EXPECT_LT(wrapped.cycles, open.cycles);  // radius 8 vs eccentricity 14
+}
+
+TEST(Collectives, BinomialBeatsMeshFlood) {
+  // The point of the comparison: native cube broadcast needs ceil(log2 N)
+  // rounds; the mesh abstraction pays the mesh diameter.
+  GrayEmbedding emb{Mesh(Shape{8, 8})};
+  SimResult flood = run_schedule(mesh_flood_broadcast(emb, 0),
+                                 SimConfig{emb.host_dim()});
+  SimResult binom = run_schedule(binomial_broadcast(emb.host_dim(), 0),
+                                 SimConfig{emb.host_dim()});
+  EXPECT_EQ(binom.cycles, 6u);
+  EXPECT_EQ(flood.cycles, 14u);
+}
+
+TEST(Collectives, DependencyValidation) {
+  CubeNetwork net(SimConfig{2});
+  EXPECT_THROW((void)net.add_message(CubePath{0, 1}, 5),
+               std::invalid_argument);
+  const u64 first = net.add_message(CubePath{0, 1});
+  (void)net.add_message(CubePath{1, 3}, static_cast<i64>(first));
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 2u);  // strictly sequential
+}
+
+}  // namespace
+}  // namespace hj::sim

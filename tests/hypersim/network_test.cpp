@@ -1,0 +1,194 @@
+// Tests for the Boolean-cube network simulator substrate.
+#include "hypersim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/direct.hpp"
+#include "core/verify.hpp"
+
+namespace hj::sim {
+namespace {
+
+TEST(Network, SingleMessageTakesPathLengthCycles) {
+  CubeNetwork net(SimConfig{3});
+  net.add_message(CubePath{0, 1, 3, 7});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 3u);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.total_hops, 3u);
+  EXPECT_EQ(r.max_link_load, 1u);
+  EXPECT_DOUBLE_EQ(r.slowdown_vs_bound, 1.0);
+}
+
+TEST(Network, ContendingMessagesSerialize) {
+  CubeNetwork net(SimConfig{2});
+  // Both messages need link 0 -> 1 on their first hop.
+  net.add_message(CubePath{0, 1});
+  net.add_message(CubePath{0, 1, 3});
+  SimResult r = net.run();
+  EXPECT_EQ(r.max_link_load, 2u);
+  // Cycle 1: msg0 takes (0,1), msg1 stalls. Cycle 2: msg1 takes (0,1).
+  // Cycle 3: msg1 takes (1,3).
+  EXPECT_EQ(r.cycles, 3u);
+}
+
+TEST(Network, OppositeDirectionsDoNotContend) {
+  CubeNetwork net(SimConfig{1});
+  net.add_message(CubePath{0, 1});
+  net.add_message(CubePath{1, 0});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 1u);
+  EXPECT_EQ(r.max_link_load, 1u);
+}
+
+TEST(Network, BandwidthTwoHalvesSerialization) {
+  for (u32 bw : {1u, 2u}) {
+    CubeNetwork net(SimConfig{2, bw});
+    net.add_message(CubePath{0, 1});
+    net.add_message(CubePath{0, 1});
+    SimResult r = net.run();
+    EXPECT_EQ(r.cycles, bw == 1 ? 2u : 1u) << "bw=" << bw;
+  }
+}
+
+TEST(Network, ZeroLengthRoutesCompleteInstantly) {
+  CubeNetwork net(SimConfig{2});
+  net.add_message(CubePath{3});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(Network, RejectsBrokenRoutes) {
+  CubeNetwork net(SimConfig{2});
+  EXPECT_THROW(net.add_message(CubePath{0, 3}), std::invalid_argument);
+  EXPECT_THROW(net.add_message(CubePath{}), std::invalid_argument);
+}
+
+TEST(Network, GrayStencilIsContentionLight) {
+  // Dilation-1, congestion-1 routes: each directed link carries at most
+  // one message; everything lands in one cycle.
+  GrayEmbedding emb{Mesh(Shape{8, 8})};
+  SimResult r = simulate_stencil(emb);
+  EXPECT_EQ(r.max_route_len, 1u);
+  EXPECT_EQ(r.cycles, 1u);
+  EXPECT_EQ(r.messages, 2u * emb.guest().num_edges());
+}
+
+TEST(Network, DirectTableStencilRespectsCongestionBound) {
+  // Dilation-2 congestion-2 embedding: the exchange takes a handful of
+  // cycles, bounded by a small multiple of the lower bound.
+  auto emb = direct_embedding(Shape{7, 9});
+  ASSERT_TRUE(emb.has_value());
+  SimResult r = simulate_stencil(**emb);
+  EXPECT_EQ(r.max_route_len, 2u);
+  EXPECT_GE(r.cycles, r.lower_bound());
+  EXPECT_LE(r.cycles, 4 * r.lower_bound());
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto emb = direct_embedding(Shape{3, 3, 7});
+  ASSERT_TRUE(emb.has_value());
+  SimResult a = simulate_stencil(**emb);
+  SimResult b = simulate_stencil(**emb);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+}
+
+TEST(Network, AxisShiftSmallerThanFullExchange) {
+  GrayEmbedding emb{Mesh(Shape{4, 4})};
+  CubeNetwork net(SimConfig{emb.host_dim()});
+  net.add_axis_shift(emb, 0);
+  EXPECT_EQ(net.pending(), 12u);  // 3 * 4 edges on axis 0
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 1u);
+}
+
+TEST(Network, RunResetsState) {
+  CubeNetwork net(SimConfig{2});
+  net.add_message(CubePath{0, 1});
+  (void)net.run();
+  EXPECT_EQ(net.pending(), 0u);
+  SimResult r = net.run();
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.cycles, 0u);
+}
+
+// --- Flit-level behaviour (message sizes, switching modes). ---
+
+TEST(Flits, StoreAndForwardLatencyIsHopsTimesFlits) {
+  CubeNetwork net(SimConfig{3, 1, 1'000'000, Switching::StoreAndForward, 4});
+  net.add_message(CubePath{0, 1, 3, 7});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 3u * 4u);
+  EXPECT_DOUBLE_EQ(r.slowdown_vs_bound, 1.0);
+}
+
+TEST(Flits, CutThroughPipelinesTheTrain) {
+  CubeNetwork net(SimConfig{3, 1, 1'000'000, Switching::CutThrough, 4});
+  net.add_message(CubePath{0, 1, 3, 7});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 3u + 4u - 1u);
+  EXPECT_DOUBLE_EQ(r.slowdown_vs_bound, 1.0);
+}
+
+TEST(Flits, SingleFlitModesAgree) {
+  for (auto sw : {Switching::StoreAndForward, Switching::CutThrough}) {
+    auto emb = direct_embedding(Shape{3, 3, 3});
+    ASSERT_TRUE(emb.has_value());
+    SimResult r = simulate_stencil(**emb, 1, sw, 1);
+    SimResult base = simulate_stencil(**emb);
+    EXPECT_EQ(r.cycles, base.cycles);
+  }
+}
+
+TEST(Flits, DilationPenaltyScalesWithMessageSizeOnlyForSAF) {
+  // The dilation-2 route pays 2F under store-and-forward but only F+1
+  // under cut-through: the motivating ablation for bench/exp_stencil_sim.
+  for (u32 f : {1u, 8u, 32u}) {
+    CubeNetwork saf(SimConfig{2, 1, 1'000'000, Switching::StoreAndForward, f});
+    saf.add_message(CubePath{0, 1, 3});
+    CubeNetwork ct(SimConfig{2, 1, 1'000'000, Switching::CutThrough, f});
+    ct.add_message(CubePath{0, 1, 3});
+    EXPECT_EQ(saf.run().cycles, 2u * f);
+    EXPECT_EQ(ct.run().cycles, f + 1u);
+  }
+}
+
+TEST(Flits, ContentionSerializesTrains) {
+  // Two 4-flit messages over one shared link: 8 cycles of link time.
+  CubeNetwork net(SimConfig{1, 1, 1'000'000, Switching::StoreAndForward, 4});
+  net.add_message(CubePath{0, 1});
+  net.add_message(CubePath{0, 1});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 8u);
+}
+
+TEST(Flits, BandwidthSplitsFairlyAcrossTrains) {
+  CubeNetwork net(SimConfig{1, 2, 1'000'000, Switching::StoreAndForward, 4});
+  net.add_message(CubePath{0, 1});
+  net.add_message(CubePath{0, 1});
+  SimResult r = net.run();
+  EXPECT_EQ(r.cycles, 4u);  // both trains stream in parallel
+}
+
+TEST(Broadcast, RootFansOutWithCongestion) {
+  GrayEmbedding emb{Mesh(Shape{4, 4})};
+  CubeNetwork net(SimConfig{emb.host_dim()});
+  net.add_broadcast(emb, 0);
+  EXPECT_EQ(net.pending(), 15u);
+  SimResult r = net.run();
+  // The root's outgoing links serialize: ~15 messages over 4 links.
+  EXPECT_GE(r.max_link_load, 4u);
+  EXPECT_GE(r.cycles, r.lower_bound());
+  EXPECT_LE(r.cycles, 3 * r.lower_bound());
+}
+
+TEST(Broadcast, SkipsSelfAndColocated) {
+  GrayEmbedding emb{Mesh(Shape{2, 2})};
+  CubeNetwork net(SimConfig{2});
+  net.add_broadcast(emb, 1);
+  EXPECT_EQ(net.pending(), 3u);
+}
+
+}  // namespace
+}  // namespace hj::sim

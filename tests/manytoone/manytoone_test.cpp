@@ -1,0 +1,171 @@
+// Tests for the many-to-one embeddings (Section 7).
+#include "manytoone/manytoone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/product.hpp"
+
+namespace hj::m2o {
+namespace {
+
+EmbeddingPtr gray_of(Shape s) {
+  return std::make_shared<GrayEmbedding>(Mesh(std::move(s)));
+}
+
+TEST(Contraction, LoadFactorIsProductOfFactors) {
+  // Lemma 5 with f = 1: contract a 12x6 mesh onto a 4x3 Gray embedding
+  // with factors 3x2 -> load factor 6.
+  ContractionEmbedding emb(gray_of(Shape{4, 3}), Shape{3, 2});
+  EXPECT_EQ(emb.guest().shape(), (Shape{12, 6}));
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.load_factor, 6u);
+  EXPECT_EQ(r.dilation, 1u);  // dilation of the base is preserved
+}
+
+TEST(Contraction, IntraBlockEdgesCollapse) {
+  ContractionEmbedding emb(gray_of(Shape{4}), Shape{3});
+  // Guest is a 12-line; edges within a block of 3 have zero-length paths.
+  const CubePath p = emb.edge_path(MeshEdge{0, 1, 0, false});
+  EXPECT_EQ(p.size(), 1u);
+  // Block-boundary edge (2,3) rides the base edge.
+  const CubePath q = emb.edge_path(MeshEdge{2, 3, 0, false});
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Contraction, CongestionMatchesLemma5Bound) {
+  // Base: Gray 4x4 (congestion 1 per axis). Factors 3x2: congestion bound
+  // on axis 1 edges: c1 * (3*2)/3 = 2; axis 2: 1 * 6/2 = 3. Overall <= 3.
+  ContractionEmbedding emb(gray_of(Shape{4, 4}), Shape{3, 2});
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_LE(r.congestion, 3u);
+  EXPECT_EQ(r.load_factor, 6u);
+}
+
+TEST(Contraction, TheoremFourProductOfManyToOne) {
+  // Product of two many-to-one embeddings: load factors multiply,
+  // dilation is the max (Theorem 4).
+  auto f1 = std::make_shared<ContractionEmbedding>(gray_of(Shape{2}),
+                                                   Shape{3});  // load 3
+  auto f2 = std::make_shared<ContractionEmbedding>(gray_of(Shape{4}),
+                                                   Shape{2});  // load 2
+  MeshProductEmbedding prod(f1, f2);
+  EXPECT_FALSE(prod.one_to_one());
+  EXPECT_EQ(prod.guest().shape(), (Shape{48}));
+  VerifyReport r = verify(prod);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.load_factor, 6u);
+  EXPECT_LE(r.dilation, 1u);
+  // Theorem 4's congestion bound: c <= max(f1*c2, f2*c1) = max(3*1, 2*1).
+  EXPECT_LE(r.congestion, 3u);
+}
+
+TEST(Fold, QuotientsHighBits) {
+  auto base = gray_of(Shape{4, 4});  // Q4
+  CubeFoldEmbedding folded(base, 2);
+  EXPECT_EQ(folded.host_dim(), 2u);
+  VerifyReport r = verify(folded);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.load_factor, 4u);  // 16 nodes onto 4
+  EXPECT_LE(r.dilation, 1u);     // folding never lengthens a path
+}
+
+TEST(Fold, FullFoldCollapsesEverything) {
+  CubeFoldEmbedding folded(gray_of(Shape{4, 4}), 0);
+  VerifyReport r = verify(folded);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.load_factor, 16u);
+  EXPECT_EQ(r.dilation, 0u);
+}
+
+TEST(Fold, RejectsEnlarging) {
+  EXPECT_THROW(CubeFoldEmbedding(gray_of(Shape{4}), 5),
+               std::invalid_argument);
+}
+
+TEST(GrayContraction, Corollary4Properties) {
+  // An l_i 2^n_i mesh into the (sum n_i)-cube: dilation one, congestion
+  // <= prod(l_i) / min(l_i), optimal load factor.
+  const Shape counts{3, 5};
+  const Shape pows{4, 2};
+  EmbeddingPtr emb = gray_contraction(counts, pows);
+  EXPECT_EQ(emb->guest().shape(), (Shape{12, 10}));
+  EXPECT_EQ(emb->host_dim(), 3u);
+  VerifyReport r = verify(*emb);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.dilation, 1u);
+  EXPECT_EQ(r.load_factor, 15u);  // optimal: 120 nodes on 8 processors
+  EXPECT_LE(r.congestion, 15u / 3u);
+}
+
+TEST(GrayContraction, RejectsNonPow2) {
+  EXPECT_THROW(gray_contraction(Shape{3}, Shape{6}), std::invalid_argument);
+}
+
+TEST(ContractToCube, Paper19x19Example) {
+  // Section 7's worked example: a 19x19 mesh into a 5-cube with dilation
+  // one; load factor 15 via 24x20 = (3*2^3) x (5*2^2); optimal is
+  // ceil(361/32) = 12.
+  ContractPlan plan = contract_to_cube(Shape{19, 19}, 5);
+  EXPECT_TRUE(plan.report.valid) << plan.plan;
+  EXPECT_EQ(plan.report.host_dim, 5u);
+  EXPECT_LE(plan.report.dilation, 1u);
+  EXPECT_EQ(plan.report.load_factor, 15u) << plan.plan;
+  EXPECT_EQ(plan.optimal_load, 12u);
+  // Within a factor of two of optimal (Corollary 5).
+  EXPECT_LE(plan.report.load_factor, 2 * plan.optimal_load);
+}
+
+TEST(ContractToCube, ExactWhenMeshMatchesCube) {
+  ContractPlan plan = contract_to_cube(Shape{8, 4}, 5);
+  EXPECT_EQ(plan.report.load_factor, 1u);
+  EXPECT_EQ(plan.optimal_load, 1u);
+  EXPECT_EQ(plan.report.dilation, 1u);
+}
+
+TEST(ContractToCube, FoldPathAlsoWorks) {
+  // Request a smaller cube than the natural Gray fit: folding kicks in.
+  ContractPlan plan = contract_to_cube(Shape{8, 8}, 4);
+  EXPECT_TRUE(plan.report.valid) << plan.plan;
+  EXPECT_EQ(plan.report.host_dim, 4u);
+  EXPECT_EQ(plan.report.load_factor, 4u);
+  EXPECT_EQ(plan.optimal_load, 4u);
+  EXPECT_LE(plan.report.dilation, 1u);
+}
+
+class ContractSweep
+    : public ::testing::TestWithParam<std::tuple<Shape, u32>> {};
+
+TEST_P(ContractSweep, WithinTwoOfOptimalAndDilationOne) {
+  const auto& [shape, n] = GetParam();
+  ContractPlan plan = contract_to_cube(shape, n);
+  EXPECT_TRUE(plan.report.valid) << plan.plan;
+  EXPECT_LE(plan.report.dilation, 1u) << plan.plan;
+  EXPECT_EQ(plan.report.host_dim, n);
+  EXPECT_GE(plan.report.load_factor, plan.optimal_load);
+  // Corollary 5's factor-of-two guarantee applies exactly when its
+  // arithmetic condition holds (e.g. 9x9x9 into Q6 fails the condition
+  // and lands at 25 vs optimal 12 — the paper promises nothing there).
+  if (corollary5_condition(shape, n)) {
+    EXPECT_LE(plan.report.load_factor, 2 * plan.optimal_load) << plan.plan;
+  }
+}
+
+TEST(ContractToCube, Corollary5ConditionExamples) {
+  EXPECT_TRUE(corollary5_condition(Shape{19, 19}, 5));  // 24x20, paper
+  EXPECT_FALSE(corollary5_condition(Shape{9, 9, 9}, 6));
+  EXPECT_TRUE(corollary5_condition(Shape{8, 4}, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ContractSweep,
+    ::testing::Values(std::tuple{Shape{19, 19}, 5u}, std::tuple{Shape{7}, 2u},
+                      std::tuple{Shape{100}, 4u},
+                      std::tuple{Shape{9, 9, 9}, 6u},
+                      std::tuple{Shape{33, 65}, 8u},
+                      std::tuple{Shape{5, 6, 7}, 4u},
+                      std::tuple{Shape{127, 3}, 7u}));
+
+}  // namespace
+}  // namespace hj::m2o

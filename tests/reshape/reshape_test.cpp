@@ -1,0 +1,114 @@
+// Tests for the reshaping techniques (Section 3.2) and Lemma 2.
+#include "reshape/reshape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/verify.hpp"
+
+namespace hj::reshape {
+namespace {
+
+TEST(Folding, MapIsInjectiveAndInRange) {
+  FoldingMap f(Shape{10, 3}, 4);
+  EXPECT_EQ(f.host().shape(), (Shape{4, 9}));  // 3 segments
+  std::set<MeshIndex> images;
+  for (MeshIndex i = 0; i < f.guest().num_nodes(); ++i) {
+    const MeshIndex m = f.map(i);
+    EXPECT_LT(m, f.host().num_nodes());
+    EXPECT_TRUE(images.insert(m).second);
+  }
+}
+
+TEST(Folding, DilationEqualsSegmentCount) {
+  // Two segments -> horizontal stride 2 -> mesh dilation 2 (the paper's
+  // "folding yields dilation two").
+  FoldingMap two(Shape{8, 5}, 4);
+  EXPECT_EQ(two.dilation(), 2u);
+  FoldingMap three(Shape{12, 5}, 4);
+  EXPECT_EQ(three.dilation(), 3u);
+}
+
+TEST(Folding, FoldLineStaysAdjacent) {
+  // Vertical edges crossing a segment boundary must cost one step thanks
+  // to the reflection.
+  FoldingMap f(Shape{8, 2}, 4);
+  const Shape& gs = f.guest().shape();
+  const MeshIndex a = gs.index(Coord{3, 0});  // last row of segment 0
+  const MeshIndex b = gs.index(Coord{4, 0});  // first row of segment 1
+  EXPECT_EQ(f.path(MeshEdge{a, b, 0, false}).size(), 2u);
+}
+
+TEST(Folding, ComposedWithGrayKeepsDilation) {
+  // Lemma 2: mesh dilation 2 x cube dilation 1 = cube dilation <= 2.
+  EmbeddingPtr emb = fold_and_gray(Shape{5, 5}, 2);
+  VerifyReport r = verify(*emb);
+  EXPECT_TRUE(r.valid) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(r.dilation, 2u);
+  // Folding is wasteful: 5x5 -> 4x10 -> Q6, twice the minimal Q5. (The
+  // planner reaches Q5 for 5x5; folding cannot.)
+  EXPECT_FALSE(r.minimal_expansion);
+  EXPECT_EQ(r.host_dim, 6u);
+}
+
+TEST(Folding, SingleSegmentIsIdentityLike) {
+  FoldingMap f(Shape{4, 5}, 4);
+  EXPECT_EQ(f.dilation(), 1u);
+}
+
+TEST(Snake, PacksTightlyIntoMinimalArea) {
+  // 5x3 into 4x4: uses 15 of 16 cells; any host with enough cells works.
+  SnakeMap s(Shape{5, 3}, Shape{4, 4});
+  std::set<MeshIndex> images;
+  for (MeshIndex i = 0; i < 15; ++i)
+    EXPECT_TRUE(images.insert(s.map(i)).second);
+}
+
+TEST(Snake, VerticalEdgesAreCheapHorizontalDegrade) {
+  // The naive line compression keeps guest-column edges at mesh distance
+  // one but lets cross-column edges blow up — the measured reason the
+  // paper needs modified line compression [4].
+  SnakeMap s(Shape{8, 8}, Shape{4, 16});
+  u32 max_col_edge = 0, max_row_edge = 0;
+  s.guest().for_each_edge([&](const MeshEdge& e) {
+    const u32 d = static_cast<u32>(s.path(e).size() - 1);
+    if (e.axis == 0)
+      max_col_edge = std::max(max_col_edge, d);
+    else
+      max_row_edge = std::max(max_row_edge, d);
+  });
+  EXPECT_EQ(max_col_edge, 1u);
+  EXPECT_GT(max_row_edge, 2u);
+}
+
+TEST(Snake, RejectsTooSmallHost) {
+  EXPECT_THROW(SnakeMap(Shape{5, 5}, Shape{4, 6}), std::invalid_argument);
+}
+
+TEST(Composed, PathsAreContiguousCubeWalks) {
+  EmbeddingPtr emb = fold_and_gray(Shape{7, 3}, 2);
+  VerifyReport r = verify(*emb);
+  EXPECT_TRUE(r.valid) << (r.errors.empty() ? "" : r.errors[0]);
+}
+
+TEST(Composed, RejectsMismatchedShapes) {
+  auto fold = std::make_shared<FoldingMap>(Shape{8, 5}, 4);
+  auto gray = std::make_shared<GrayEmbedding>(Mesh(Shape{4, 4}));
+  EXPECT_THROW(ComposedEmbedding(fold, gray), std::invalid_argument);
+}
+
+TEST(Composed, DilationBoundIsSumAlongPath) {
+  // Lemma 2 upper bound: cube dilation of an edge <= sum over its mesh
+  // path of the inner dilations. With a Gray inner embedding the bound is
+  // exactly the mesh path length.
+  auto fold = std::make_shared<FoldingMap>(Shape{12, 5}, 4);
+  auto gray = std::make_shared<GrayEmbedding>(fold->host());
+  ComposedEmbedding emb(fold, gray);
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    EXPECT_LE(emb.edge_path(e).size(), fold->path(e).size());
+  });
+}
+
+}  // namespace
+}  // namespace hj::reshape

@@ -1,0 +1,71 @@
+// Tests for the simulated-annealing embedding searcher.
+#include "search/anneal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+
+namespace hj::search {
+namespace {
+
+TEST(Anneal, FindsEasyDilationTwo) {
+  AnnealOptions o;
+  o.iterations = 200'000;
+  auto r = anneal_search(Mesh(Shape{3, 5}), 4, o);
+  ASSERT_TRUE(r.map.has_value());
+  ExplicitEmbedding emb(Mesh(Shape{3, 5}), 4, *r.map);
+  VerifyReport v = verify(emb);
+  EXPECT_TRUE(v.valid);
+  EXPECT_LE(v.dilation, 2u);
+}
+
+TEST(Anneal, FindsThreeDimensional) {
+  AnnealOptions o;
+  o.iterations = 500'000;
+  auto r = anneal_search(Mesh(Shape{3, 3, 3}), 5, o);
+  ASSERT_TRUE(r.map.has_value());
+  ExplicitEmbedding emb(Mesh(Shape{3, 3, 3}), 5, *r.map);
+  EXPECT_LE(verify(emb).dilation, 2u);
+}
+
+TEST(Anneal, WitnessIsAlwaysInjective) {
+  AnnealOptions o;
+  o.iterations = 100'000;
+  auto r = anneal_search(Mesh(Shape{4, 5}), 5, o);
+  ASSERT_TRUE(r.map.has_value());
+  std::vector<CubeNode> sorted = *r.map;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Anneal, ImpossibleCapacityReturnsEmpty) {
+  auto r = anneal_search(Mesh(Shape{3, 3}), 3);
+  EXPECT_FALSE(r.map.has_value());
+}
+
+TEST(Anneal, DeterministicForFixedSeed) {
+  AnnealOptions o;
+  o.iterations = 50'000;
+  o.seed = 1234;
+  auto a = anneal_search(Mesh(Shape{3, 5}), 4, o);
+  auto b = anneal_search(Mesh(Shape{3, 5}), 4, o);
+  ASSERT_EQ(a.map.has_value(), b.map.has_value());
+  if (a.map) {
+    EXPECT_EQ(*a.map, *b.map);
+  }
+}
+
+TEST(Anneal, ReportsBestPenaltyWhenUnsolved) {
+  // One iteration cannot solve anything: the result must carry a nonzero
+  // penalty and no map.
+  AnnealOptions o;
+  o.iterations = 1;
+  o.restarts = 1;
+  auto r = anneal_search(Mesh(Shape{3, 5}), 4, o);
+  if (!r.map) {
+    EXPECT_GT(r.best_penalty, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hj::search

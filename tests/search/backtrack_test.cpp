@@ -1,0 +1,116 @@
+// Tests for the backtracking embedding searcher.
+#include "search/backtrack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+
+namespace hj::search {
+namespace {
+
+void expect_witness_valid(const Mesh& m, u32 dim,
+                          const std::vector<CubeNode>& map, u32 max_dil) {
+  ExplicitEmbedding emb(m, dim, map);
+  VerifyReport r = verify(emb);
+  EXPECT_TRUE(r.valid) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_LE(r.dilation, max_dil);
+}
+
+TEST(Backtrack, FindsGrayLikeDilationOne) {
+  BacktrackOptions o;
+  o.max_dilation = 1;
+  auto r = backtrack_search(Mesh(Shape{4, 4}), 4, o);
+  ASSERT_TRUE(r.map.has_value());
+  expect_witness_valid(Mesh(Shape{4, 4}), 4, *r.map, 1);
+}
+
+TEST(Backtrack, FindsAllPaperDirectShapes) {
+  struct Case {
+    Shape shape;
+    u32 dim;
+  };
+  for (const Case& c : {Case{Shape{3, 5}, 4}, Case{Shape{7, 9}, 6},
+                        Case{Shape{11, 11}, 7}, Case{Shape{3, 3, 3}, 5},
+                        Case{Shape{3, 3, 7}, 6}}) {
+    auto r = backtrack_search(Mesh(c.shape), c.dim);
+    ASSERT_TRUE(r.map.has_value()) << c.shape.to_string();
+    expect_witness_valid(Mesh(c.shape), c.dim, *r.map, 2);
+  }
+}
+
+TEST(Backtrack, HavelMoravekLowerBound) {
+  // Theorem 1: a dilation-1 embedding of 3x5 needs ceil(log 3) +
+  // ceil(log 5) = 5 cube dimensions; exhaustive search in Q4 must refute.
+  BacktrackOptions o;
+  o.max_dilation = 1;
+  auto r = backtrack_search(Mesh(Shape{3, 5}), 4, o);
+  EXPECT_FALSE(r.map.has_value());
+  EXPECT_TRUE(r.exhausted);
+  // And in Q5 it must succeed (Gray code exists there).
+  auto r5 = backtrack_search(Mesh(Shape{3, 5}), 5, o);
+  EXPECT_TRUE(r5.map.has_value());
+}
+
+TEST(Backtrack, RefutesImpossibleCapacity) {
+  auto r = backtrack_search(Mesh(Shape{3, 3}), 3);  // 9 nodes, 8 slots
+  EXPECT_FALSE(r.map.has_value());
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(Backtrack, DilationOneTorusPowerOfTwo) {
+  BacktrackOptions o;
+  o.max_dilation = 1;
+  auto r = backtrack_search(Mesh::torus(Shape{8}), 3, o);
+  ASSERT_TRUE(r.map.has_value());
+  ExplicitEmbedding emb(Mesh::torus(Shape{8}), 3, *r.map);
+  VerifyReport v = verify(emb);
+  EXPECT_TRUE(v.valid);
+  EXPECT_EQ(v.dilation, 1u);
+}
+
+TEST(Backtrack, OddRingNeedsDilationTwo) {
+  // A 5-cycle is odd; the bipartite cube has no odd cycles, so dilation 1
+  // is impossible even in a large cube, but dilation 2 fits in Q3.
+  BacktrackOptions o1;
+  o1.max_dilation = 1;
+  auto r1 = backtrack_search(Mesh::torus(Shape{5}), 3, o1);
+  EXPECT_FALSE(r1.map.has_value());
+  EXPECT_TRUE(r1.exhausted);
+  auto r2 = backtrack_search(Mesh::torus(Shape{5}), 3);
+  ASSERT_TRUE(r2.map.has_value());
+  expect_witness_valid(Mesh::torus(Shape{5}), 3, *r2.map, 2);
+}
+
+TEST(Backtrack, BudgetStopsInconclusively) {
+  BacktrackOptions o;
+  o.node_budget = 3;
+  auto r = backtrack_search(Mesh(Shape{7, 9}), 6, o);
+  EXPECT_FALSE(r.map.has_value());
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.nodes_expanded, 3u);
+}
+
+TEST(Backtrack, CanonicalPruningPreservesCompleteness) {
+  // With and without symmetry breaking the searcher must agree on
+  // existence questions.
+  for (u32 dil : {1u, 2u}) {
+    BacktrackOptions with, without;
+    with.max_dilation = without.max_dilation = dil;
+    without.canonical_pruning = false;
+    auto a = backtrack_search(Mesh(Shape{3, 4}), 4, with);
+    auto b = backtrack_search(Mesh(Shape{3, 4}), 4, without);
+    EXPECT_EQ(a.map.has_value(), b.map.has_value()) << "dil " << dil;
+    EXPECT_LE(a.nodes_expanded, b.nodes_expanded);
+  }
+}
+
+TEST(Backtrack, TrivialGuests) {
+  auto r1 = backtrack_search(Mesh(Shape{1}), 0);
+  ASSERT_TRUE(r1.map.has_value());
+  EXPECT_EQ(r1.map->size(), 1u);
+  auto r2 = backtrack_search(Mesh(Shape{2}), 1);
+  ASSERT_TRUE(r2.map.has_value());
+}
+
+}  // namespace
+}  // namespace hj::search

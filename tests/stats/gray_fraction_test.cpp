@@ -1,0 +1,98 @@
+// Tests for the Theorem 2 / Figure 1 statistics.
+#include "stats/gray_fraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace hj::stats {
+namespace {
+
+TEST(GrayFraction, PaperValues) {
+  // The paper: f_2(1/2) = 2(1 - ln 2) ~ 0.61, f_3(1/2) ~ 0.27.
+  EXPECT_NEAR(gray_minimal_fraction(2), 2.0 * (1.0 - std::log(2.0)), 1e-12);
+  EXPECT_NEAR(gray_minimal_fraction(2), 0.6137, 5e-4);
+  const double ln2 = std::log(2.0);
+  EXPECT_NEAR(gray_minimal_fraction(3),
+              4.0 * (1.0 - ln2 - ln2 * ln2 / 2.0), 1e-12);
+  EXPECT_NEAR(gray_minimal_fraction(3), 0.2665, 5e-4);  // "~0.27" in the paper
+}
+
+TEST(GrayFraction, OneDimensionalIsCertain) {
+  EXPECT_NEAR(gray_minimal_fraction(1), 1.0, 1e-12);
+  EXPECT_NEAR(f_k(1, 1.0), 0.0, 1e-12);
+}
+
+TEST(GrayFraction, DecreasesWithDimension) {
+  double prev = 1.1;
+  for (u32 k = 1; k <= 10; ++k) {
+    const double f = gray_minimal_fraction(k);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+  // Figure 1's qualitative point: by k = 10 the fraction is tiny.
+  EXPECT_LT(gray_minimal_fraction(10), 0.002);
+}
+
+TEST(GrayFraction, FkMonotoneInAlpha) {
+  for (u32 k : {2u, 3u, 5u}) {
+    double prev = 2.0;
+    for (double a = 0.5; a <= 1.0001; a += 0.05) {
+      const double f = f_k(k, std::min(a, 1.0));
+      EXPECT_LE(f, prev + 1e-12);
+      prev = f;
+    }
+  }
+}
+
+TEST(GrayFraction, DistributionSumsToOne) {
+  for (u32 k = 1; k <= 8; ++k) {
+    const auto dist = gray_expansion_distribution(k);
+    ASSERT_EQ(dist.size(), k + 1);
+    const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "k=" << k;
+    for (double p : dist) EXPECT_GE(p, -1e-12);
+    // The beta = 0 bucket is exactly f_k(1/2).
+    EXPECT_NEAR(dist[0], gray_minimal_fraction(k), 1e-9);
+  }
+}
+
+TEST(GrayFraction, MonteCarloMatchesClosedForm) {
+  for (u32 k : {2u, 3u, 4u}) {
+    const double mc = gray_minimal_fraction_mc(k, 400'000, 7);
+    EXPECT_NEAR(mc, gray_minimal_fraction(k), 0.01) << "k=" << k;
+  }
+}
+
+TEST(GrayFraction, ExactFiniteDomainApproachesAsymptote) {
+  // The finite-domain fraction converges to the continuous model as the
+  // domain grows (Figure 1 is the asymptote of Figure 2's S1 curve).
+  const double f2 = gray_minimal_fraction(2);
+  const double e5 = gray_minimal_fraction_exact(2, 5);
+  const double e8 = gray_minimal_fraction_exact(2, 8);
+  EXPECT_LT(std::abs(e8 - f2), std::abs(e5 - f2) + 1e-5);
+  EXPECT_NEAR(e8, f2, 0.04);
+}
+
+TEST(GrayFraction, ExactMatchesCoverageSweepAtK3) {
+  // Must agree with the Figure 2 S1 value at n = 6 (37.8%).
+  EXPECT_NEAR(gray_minimal_fraction_exact(3, 6), 0.378, 0.002);
+}
+
+TEST(GrayFraction, DomainMonteCarloMatchesExact) {
+  const double exact = gray_minimal_fraction_exact(3, 7);
+  const double mc = gray_minimal_fraction_domain_mc(3, 7, 400'000, 11);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(GrayFraction, InvalidArguments) {
+  EXPECT_THROW((void)f_k(0, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)f_k(2, 0.4), std::invalid_argument);
+  EXPECT_THROW((void)gray_minimal_fraction_exact(4, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hj::stats
