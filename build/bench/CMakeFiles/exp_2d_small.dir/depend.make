@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_2d_small.
+# This may be replaced when dependencies are built.

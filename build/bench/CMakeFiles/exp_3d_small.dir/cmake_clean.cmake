@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_3d_small.dir/exp_3d_small.cpp.o"
+  "CMakeFiles/exp_3d_small.dir/exp_3d_small.cpp.o.d"
+  "exp_3d_small"
+  "exp_3d_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_3d_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_avg_dilation.dir/exp_avg_dilation.cpp.o"
+  "CMakeFiles/exp_avg_dilation.dir/exp_avg_dilation.cpp.o.d"
+  "exp_avg_dilation"
+  "exp_avg_dilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_avg_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

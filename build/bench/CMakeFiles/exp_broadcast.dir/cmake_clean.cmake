@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_broadcast.dir/exp_broadcast.cpp.o"
+  "CMakeFiles/exp_broadcast.dir/exp_broadcast.cpp.o.d"
+  "exp_broadcast"
+  "exp_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cannon.dir/exp_cannon.cpp.o"
+  "CMakeFiles/exp_cannon.dir/exp_cannon.cpp.o.d"
+  "exp_cannon"
+  "exp_cannon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cannon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

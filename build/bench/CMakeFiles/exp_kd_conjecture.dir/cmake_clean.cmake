@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_kd_conjecture.dir/exp_kd_conjecture.cpp.o"
+  "CMakeFiles/exp_kd_conjecture.dir/exp_kd_conjecture.cpp.o.d"
+  "exp_kd_conjecture"
+  "exp_kd_conjecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_kd_conjecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_lower_bound.dir/exp_lower_bound.cpp.o"
+  "CMakeFiles/exp_lower_bound.dir/exp_lower_bound.cpp.o.d"
+  "exp_lower_bound"
+  "exp_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

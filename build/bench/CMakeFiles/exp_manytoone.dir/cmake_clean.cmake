@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_manytoone.dir/exp_manytoone.cpp.o"
+  "CMakeFiles/exp_manytoone.dir/exp_manytoone.cpp.o.d"
+  "exp_manytoone"
+  "exp_manytoone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_manytoone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

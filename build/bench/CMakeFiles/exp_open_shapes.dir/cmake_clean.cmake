@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_open_shapes.dir/exp_open_shapes.cpp.o"
+  "CMakeFiles/exp_open_shapes.dir/exp_open_shapes.cpp.o.d"
+  "exp_open_shapes"
+  "exp_open_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_open_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_planner_quality.dir/exp_planner_quality.cpp.o"
+  "CMakeFiles/exp_planner_quality.dir/exp_planner_quality.cpp.o.d"
+  "exp_planner_quality"
+  "exp_planner_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_planner_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

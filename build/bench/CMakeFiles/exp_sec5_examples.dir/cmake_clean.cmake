@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec5_examples.dir/exp_sec5_examples.cpp.o"
+  "CMakeFiles/exp_sec5_examples.dir/exp_sec5_examples.cpp.o.d"
+  "exp_sec5_examples"
+  "exp_sec5_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec5_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_sec5_examples.
+# This may be replaced when dependencies are built.

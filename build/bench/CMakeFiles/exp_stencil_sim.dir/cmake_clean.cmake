@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_stencil_sim.dir/exp_stencil_sim.cpp.o"
+  "CMakeFiles/exp_stencil_sim.dir/exp_stencil_sim.cpp.o.d"
+  "exp_stencil_sim"
+  "exp_stencil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_stencil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

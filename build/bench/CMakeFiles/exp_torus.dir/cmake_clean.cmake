@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_torus.dir/exp_torus.cpp.o"
+  "CMakeFiles/exp_torus.dir/exp_torus.cpp.o.d"
+  "exp_torus"
+  "exp_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gray_fraction.dir/fig1_gray_fraction.cpp.o"
+  "CMakeFiles/fig1_gray_fraction.dir/fig1_gray_fraction.cpp.o.d"
+  "fig1_gray_fraction"
+  "fig1_gray_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gray_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

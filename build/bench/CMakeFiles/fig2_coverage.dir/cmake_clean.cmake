@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_coverage.dir/fig2_coverage.cpp.o"
+  "CMakeFiles/fig2_coverage.dir/fig2_coverage.cpp.o.d"
+  "fig2_coverage"
+  "fig2_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_search.dir/perf_search.cpp.o"
+  "CMakeFiles/perf_search.dir/perf_search.cpp.o.d"
+  "perf_search"
+  "perf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_cannon_multiply.dir/cannon_multiply.cpp.o"
+  "CMakeFiles/hj_cannon_multiply.dir/cannon_multiply.cpp.o.d"
+  "hj_cannon_multiply"
+  "hj_cannon_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_cannon_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

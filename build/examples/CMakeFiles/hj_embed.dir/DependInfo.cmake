@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hj_embed_cli.cpp" "examples/CMakeFiles/hj_embed.dir/hj_embed_cli.cpp.o" "gcc" "examples/CMakeFiles/hj_embed.dir/hj_embed_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/hj_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/torus/CMakeFiles/hj_torus.dir/DependInfo.cmake"
+  "/root/repo/build/src/manytoone/CMakeFiles/hj_manytoone.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypersim/CMakeFiles/hj_hypersim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

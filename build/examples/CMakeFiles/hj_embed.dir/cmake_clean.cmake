@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_embed.dir/hj_embed_cli.cpp.o"
+  "CMakeFiles/hj_embed.dir/hj_embed_cli.cpp.o.d"
+  "hj_embed"
+  "hj_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

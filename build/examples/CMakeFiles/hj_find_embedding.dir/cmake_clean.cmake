@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_find_embedding.dir/find_embedding.cpp.o"
+  "CMakeFiles/hj_find_embedding.dir/find_embedding.cpp.o.d"
+  "hj_find_embedding"
+  "hj_find_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_find_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

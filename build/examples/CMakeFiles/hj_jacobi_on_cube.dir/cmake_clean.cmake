@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_jacobi_on_cube.dir/jacobi_on_cube.cpp.o"
+  "CMakeFiles/hj_jacobi_on_cube.dir/jacobi_on_cube.cpp.o.d"
+  "hj_jacobi_on_cube"
+  "hj_jacobi_on_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_jacobi_on_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

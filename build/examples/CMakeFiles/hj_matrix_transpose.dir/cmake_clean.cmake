@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_matrix_transpose.dir/matrix_transpose.cpp.o"
+  "CMakeFiles/hj_matrix_transpose.dir/matrix_transpose.cpp.o.d"
+  "hj_matrix_transpose"
+  "hj_matrix_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_matrix_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/hj_quickstart.dir/quickstart.cpp.o.d"
+  "hj_quickstart"
+  "hj_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_torus_mapper.dir/torus_mapper.cpp.o"
+  "CMakeFiles/hj_torus_mapper.dir/torus_mapper.cpp.o.d"
+  "hj_torus_mapper"
+  "hj_torus_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_torus_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/hj_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/direct.cpp" "src/core/CMakeFiles/hj_core.dir/direct.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/direct.cpp.o.d"
+  "/root/repo/src/core/embedding.cpp" "src/core/CMakeFiles/hj_core.dir/embedding.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/embedding.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/hj_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/hj_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/product.cpp" "src/core/CMakeFiles/hj_core.dir/product.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/product.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/hj_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/core/CMakeFiles/hj_core.dir/shape.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/shape.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/hj_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/hj_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_core.dir/coverage.cpp.o"
+  "CMakeFiles/hj_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/hj_core.dir/direct.cpp.o"
+  "CMakeFiles/hj_core.dir/direct.cpp.o.d"
+  "CMakeFiles/hj_core.dir/embedding.cpp.o"
+  "CMakeFiles/hj_core.dir/embedding.cpp.o.d"
+  "CMakeFiles/hj_core.dir/io.cpp.o"
+  "CMakeFiles/hj_core.dir/io.cpp.o.d"
+  "CMakeFiles/hj_core.dir/planner.cpp.o"
+  "CMakeFiles/hj_core.dir/planner.cpp.o.d"
+  "CMakeFiles/hj_core.dir/product.cpp.o"
+  "CMakeFiles/hj_core.dir/product.cpp.o.d"
+  "CMakeFiles/hj_core.dir/router.cpp.o"
+  "CMakeFiles/hj_core.dir/router.cpp.o.d"
+  "CMakeFiles/hj_core.dir/shape.cpp.o"
+  "CMakeFiles/hj_core.dir/shape.cpp.o.d"
+  "CMakeFiles/hj_core.dir/verify.cpp.o"
+  "CMakeFiles/hj_core.dir/verify.cpp.o.d"
+  "libhj_core.a"
+  "libhj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

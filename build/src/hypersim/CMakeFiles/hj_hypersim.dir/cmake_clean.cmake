@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_hypersim.dir/collectives.cpp.o"
+  "CMakeFiles/hj_hypersim.dir/collectives.cpp.o.d"
+  "CMakeFiles/hj_hypersim.dir/network.cpp.o"
+  "CMakeFiles/hj_hypersim.dir/network.cpp.o.d"
+  "libhj_hypersim.a"
+  "libhj_hypersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_hypersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

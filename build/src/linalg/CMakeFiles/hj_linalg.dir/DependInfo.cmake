@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cannon.cpp" "src/linalg/CMakeFiles/hj_linalg.dir/cannon.cpp.o" "gcc" "src/linalg/CMakeFiles/hj_linalg.dir/cannon.cpp.o.d"
+  "/root/repo/src/linalg/matvec.cpp" "src/linalg/CMakeFiles/hj_linalg.dir/matvec.cpp.o" "gcc" "src/linalg/CMakeFiles/hj_linalg.dir/matvec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypersim/CMakeFiles/hj_hypersim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_linalg.dir/cannon.cpp.o"
+  "CMakeFiles/hj_linalg.dir/cannon.cpp.o.d"
+  "CMakeFiles/hj_linalg.dir/matvec.cpp.o"
+  "CMakeFiles/hj_linalg.dir/matvec.cpp.o.d"
+  "libhj_linalg.a"
+  "libhj_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_manytoone.dir/manytoone.cpp.o"
+  "CMakeFiles/hj_manytoone.dir/manytoone.cpp.o.d"
+  "libhj_manytoone.a"
+  "libhj_manytoone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_manytoone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

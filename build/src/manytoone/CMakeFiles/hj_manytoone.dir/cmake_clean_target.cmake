@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhj_manytoone.a"
+)

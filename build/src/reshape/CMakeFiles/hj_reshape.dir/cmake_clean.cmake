@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_reshape.dir/reshape.cpp.o"
+  "CMakeFiles/hj_reshape.dir/reshape.cpp.o.d"
+  "libhj_reshape.a"
+  "libhj_reshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_reshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_search.dir/anneal.cpp.o"
+  "CMakeFiles/hj_search.dir/anneal.cpp.o.d"
+  "CMakeFiles/hj_search.dir/backtrack.cpp.o"
+  "CMakeFiles/hj_search.dir/backtrack.cpp.o.d"
+  "libhj_search.a"
+  "libhj_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

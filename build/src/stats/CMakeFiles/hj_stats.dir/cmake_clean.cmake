@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_stats.dir/gray_fraction.cpp.o"
+  "CMakeFiles/hj_stats.dir/gray_fraction.cpp.o.d"
+  "libhj_stats.a"
+  "libhj_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_torus.dir/torus.cpp.o"
+  "CMakeFiles/hj_torus.dir/torus.cpp.o.d"
+  "libhj_torus.a"
+  "libhj_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypersim.dir/hypersim/collectives_test.cpp.o"
+  "CMakeFiles/test_hypersim.dir/hypersim/collectives_test.cpp.o.d"
+  "CMakeFiles/test_hypersim.dir/hypersim/network_test.cpp.o"
+  "CMakeFiles/test_hypersim.dir/hypersim/network_test.cpp.o.d"
+  "test_hypersim"
+  "test_hypersim.pdb"
+  "test_hypersim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manytoone.dir/manytoone/manytoone_test.cpp.o"
+  "CMakeFiles/test_manytoone.dir/manytoone/manytoone_test.cpp.o.d"
+  "test_manytoone"
+  "test_manytoone.pdb"
+  "test_manytoone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manytoone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search.dir/search/anneal_test.cpp.o"
+  "CMakeFiles/test_search.dir/search/anneal_test.cpp.o.d"
+  "CMakeFiles/test_search.dir/search/backtrack_test.cpp.o"
+  "CMakeFiles/test_search.dir/search/backtrack_test.cpp.o.d"
+  "test_search"
+  "test_search.pdb"
+  "test_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

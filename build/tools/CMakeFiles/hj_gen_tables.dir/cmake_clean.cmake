@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_gen_tables.dir/gen_tables.cpp.o"
+  "CMakeFiles/hj_gen_tables.dir/gen_tables.cpp.o.d"
+  "hj_gen_tables"
+  "hj_gen_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_gen_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
