@@ -7,6 +7,11 @@
 //   hj_embed save out.hje 7 9          plan and serialize
 //   hj_embed verify out.hje            reload and re-verify a saved file
 //   hj_embed sim 9 13                  stencil-exchange simulation
+//
+// The plan and sim commands accept --faults=<spec> (e.g.
+// --faults=node=5,link=3-7,p=0.01,seed=42): permanent faults route
+// planning through the degradation ladder (detour / remap / many-to-one),
+// and sim additionally injects the transient link faults.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +27,18 @@ using namespace hj;
 
 namespace {
 
+sim::FaultModel g_faults;
+bool g_have_faults = false;
+
+PlanResult plan_mesh(const Shape& shape) {
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  planner.set_degrade_provider(m2o::make_degrade_provider());
+  if (g_have_faults && !g_faults.permanent().empty())
+    return planner.plan_avoiding(shape, g_faults.permanent());
+  return planner.plan(shape);
+}
+
 Shape parse_shape(int argc, char** argv, int from) {
   SmallVec<u64, 4> extents;
   for (int i = from; i < argc; ++i)
@@ -31,12 +48,13 @@ Shape parse_shape(int argc, char** argv, int from) {
 }
 
 int cmd_plan(int argc, char** argv) {
-  Planner planner;
-  planner.set_direct_provider(search::make_search_provider());
-  PlanResult r = planner.plan(parse_shape(argc, argv, 2));
+  PlanResult r = plan_mesh(parse_shape(argc, argv, 2));
   std::printf("%splan: %s\n", detailed_summary(r.report, *r.embedding).c_str(),
               r.plan.c_str());
-  return r.report.valid ? 0 : 1;
+  if (g_have_faults)
+    std::printf("faults: %s\n",
+                r.report.fault_free ? "avoided (certified)" : "NOT avoided");
+  return r.report.valid && r.report.fault_free ? 0 : 1;
 }
 
 int cmd_torus(int argc, char** argv) {
@@ -83,19 +101,26 @@ int cmd_verify(int argc, char** argv) {
 }
 
 int cmd_sim(int argc, char** argv) {
-  Planner planner;
-  planner.set_direct_provider(search::make_search_provider());
-  PlanResult r = planner.plan(parse_shape(argc, argv, 2));
+  PlanResult r = plan_mesh(parse_shape(argc, argv, 2));
   for (u32 flits : {1u, 16u}) {
-    sim::SimResult saf = sim::simulate_stencil(
-        *r.embedding, 1, sim::Switching::StoreAndForward, flits);
-    sim::SimResult ct = sim::simulate_stencil(
-        *r.embedding, 1, sim::Switching::CutThrough, flits);
+    sim::SimConfig cfg{r.embedding->host_dim()};
+    cfg.message_flits = flits;
+    if (g_have_faults) cfg.faults = &g_faults;
+    cfg.switching = sim::Switching::StoreAndForward;
+    sim::SimResult saf = sim::simulate_stencil(*r.embedding, cfg);
+    cfg.switching = sim::Switching::CutThrough;
+    sim::SimResult ct = sim::simulate_stencil(*r.embedding, cfg);
     std::printf("stencil exchange, %2u flits: store-and-forward %llu "
                 "cycles, cut-through %llu cycles (bound %llu)\n",
                 flits, static_cast<unsigned long long>(saf.cycles),
                 static_cast<unsigned long long>(ct.cycles),
                 static_cast<unsigned long long>(saf.lower_bound()));
+    if (g_have_faults)
+      std::printf("  faults: %s, delivered %llu/%llu, dropped flits %llu\n",
+                  saf.completed && ct.completed ? "absorbed" : "NOT absorbed",
+                  static_cast<unsigned long long>(saf.delivered),
+                  static_cast<unsigned long long>(saf.messages),
+                  static_cast<unsigned long long>(saf.dropped_flits));
   }
   return 0;
 }
@@ -110,6 +135,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    // Strip --faults=<spec> (anywhere on the line) before dispatch.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+        g_faults = sim::parse_fault_spec(argv[i] + 9);
+        g_have_faults = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    require(argc >= 2, "expected a command before/after --faults");
     const std::string cmd = argv[1];
     if (cmd == "plan") return cmd_plan(argc, argv);
     if (cmd == "torus") return cmd_torus(argc, argv);

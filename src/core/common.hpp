@@ -7,6 +7,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -58,6 +59,20 @@ using MeshIndex = u64;
 /// invariants use assert().
 inline void require(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
+}
+
+/// Formatted variant: require(ok, "index %llu out of range [0, %llu)", i, n)
+/// throws std::invalid_argument with the offending values interpolated.
+/// printf semantics; the message is built only on failure, so the fast path
+/// stays a branch.
+template <class... Args>
+  requires(sizeof...(Args) > 0)
+void require(bool cond, const char* fmt, Args... args) {
+  if (cond) [[likely]]
+    return;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  throw std::invalid_argument(buf);
 }
 
 }  // namespace hj

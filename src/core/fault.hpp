@@ -1,0 +1,80 @@
+// hjembed: permanent fault sets over the Boolean cube.
+//
+// The paper targets iPSC/nCUBE-era hypercube multiprocessors, where dead
+// nodes and links were a fact of life. A FaultSet records the permanently
+// failed hardware; the router detours guest-edge paths around it (a detour
+// is a controlled dilation increase), the planner remaps or contracts
+// embeddings away from it, and the verifier certifies that a finished
+// embedding never touches it. Transient (probabilistic) link faults are a
+// simulation-time concern and live in hypersim (sim::FaultModel), layered
+// on top of this structural set.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/hypercube.hpp"
+
+namespace hj {
+
+/// Permanently failed cube nodes and (undirected) cube links.
+class FaultSet {
+ public:
+  FaultSet() = default;
+
+  void fail_node(CubeNode v) { nodes_.insert(v); }
+
+  void fail_link(CubeNode a, CubeNode b) {
+    require(Hypercube::adjacent(a, b),
+            "FaultSet::fail_link: %llu and %llu are not cube-adjacent",
+            static_cast<unsigned long long>(a),
+            static_cast<unsigned long long>(b));
+    links_.insert(Hypercube::edge_key(a, b));
+  }
+
+  [[nodiscard]] bool node_failed(CubeNode v) const {
+    return nodes_.count(v) != 0;
+  }
+
+  /// True iff the (undirected) link between adjacent nodes is failed, or
+  /// either endpoint node is failed (a dead node kills its links).
+  [[nodiscard]] bool link_failed(CubeNode a, CubeNode b) const {
+    return node_failed(a) || node_failed(b) ||
+           links_.count(Hypercube::edge_key(a, b)) != 0;
+  }
+
+  /// True iff every node and every hop of `path` is healthy.
+  [[nodiscard]] bool path_avoids(const CubePath& path) const {
+    if (empty()) return true;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (node_failed(path[i])) return false;
+      if (i + 1 < path.size() && link_failed(path[i], path[i + 1]))
+        return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return nodes_.empty() && links_.empty();
+  }
+  [[nodiscard]] std::size_t num_failed_nodes() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t num_failed_links() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] const std::unordered_set<CubeNode>& failed_nodes()
+      const noexcept {
+    return nodes_;
+  }
+  /// Failed links as Hypercube::edge_key values (lo << 6 | flipped bit).
+  [[nodiscard]] const std::unordered_set<u64>& failed_link_keys()
+      const noexcept {
+    return links_;
+  }
+
+ private:
+  std::unordered_set<CubeNode> nodes_;
+  std::unordered_set<u64> links_;  // Hypercube::edge_key
+};
+
+}  // namespace hj

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 namespace hj::io {
 namespace {
@@ -61,6 +62,14 @@ std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
     while (ls >> v) extents.push_back(v);
   }
   if (extents.empty()) return fail("empty shape");
+  // Overflow / resource guard: reject meshes no sane file would hold
+  // before allocating the node map (fuzzed headers must throw, not OOM).
+  u64 total = 1;
+  for (u64 e : extents) {
+    if (e == 0) return fail("zero shape extent");
+    if (total > (u64{1} << 26) / e) return fail("shape too large");
+    total *= e;
+  }
   const Shape shape{extents};
 
   if (!(is >> word) || word != "wrap") return fail("expected wrap");
@@ -82,6 +91,7 @@ std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
 
   auto emb = std::make_shared<ExplicitEmbedding>(guest, cube, std::move(map));
 
+  std::unordered_set<u64> seen_paths;
   while (is >> word) {
     if (word == "end") return emb;
     if (word != "path") return fail("unexpected token '" + word + "'");
@@ -90,6 +100,9 @@ std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
     if (!(is >> a >> axis >> wrapped)) return fail("short path header");
     if (a >= guest.num_nodes() || axis >= shape.dims())
       return fail("path header out of range");
+    if (!seen_paths.insert(a * shape.dims() + axis).second)
+      return fail("duplicate path for node " + std::to_string(a) +
+                  " axis " + std::to_string(axis));
     std::getline(is, line);
     CubePath p;
     {

@@ -32,6 +32,10 @@ void Planner::set_direct_provider(DirectProvider provider) {
   memo_.clear();  // cached plans may improve with the provider attached
 }
 
+void Planner::set_degrade_provider(DegradeProvider provider) {
+  degrade_provider_ = std::move(provider);
+}
+
 void Planner::consider(Entry& incumbent, Entry candidate) const {
   if (!candidate.emb) return;
   if (!incumbent.emb || candidate.cube < incumbent.cube ||
@@ -213,6 +217,107 @@ PlanResult Planner::plan(const Shape& shape) {
   out.report = verify(*e.emb);
   out.plan = e.desc;
   return out;
+}
+
+PlanResult Planner::plan_avoiding(const Shape& shape, const FaultSet& faults) {
+  PlanResult base = plan(shape);
+  if (faults.empty()) return base;
+
+  const u32 n = base.report.host_dim;
+  const u64 cube = u64{1} << n;
+  const u64 nodes = shape.num_nodes();
+  require(nodes <= (u64{1} << 24),
+          "plan_avoiding: mesh with %llu nodes is too large to materialize",
+          static_cast<unsigned long long>(nodes));
+
+  std::vector<CubeNode> map(nodes);
+  std::vector<bool> used(cube, false);
+  for (MeshIndex i = 0; i < nodes; ++i) {
+    map[i] = base.embedding->map(i);
+    used[map[i]] = true;
+  }
+
+  // Rungs 1-2 of the degradation ladder: an XOR translation t of the node
+  // map (t = 0 keeps the map and only detours edge paths; a single-bit t
+  // is a reflection across that cube dimension). The map avoids every
+  // failed node iff f ^ t is an unused address for each failed node f, so
+  // candidates are screened in O(#faults) before any routing work.
+  const auto dodges_failed_nodes = [&](u64 t) {
+    for (CubeNode f : faults.failed_nodes())
+      if ((f ^ t) < cube && used[f ^ t]) return false;
+    return true;
+  };
+  const auto attempt = [&](u64 t) -> std::optional<PlanResult> {
+    std::vector<CubeNode> m(map);
+    if (t)
+      for (CubeNode& v : m) v ^= t;
+    auto emb = std::make_shared<ExplicitEmbedding>(Mesh(shape), n,
+                                                   std::move(m));
+    route_minimize_congestion(*emb);
+    const DetourStats d = route_around_faults(*emb, faults);
+    if (!d.ok) return std::nullopt;
+    VerifyReport r = verify(*emb, faults);
+    if (!r.valid || !r.fault_free) return std::nullopt;
+    std::string desc = base.plan;
+    if (d.detoured_edges)
+      desc = "detour[" + std::to_string(d.detoured_edges) + "](" + desc + ")";
+    if (t) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "remap[xor 0x%llx]",
+                    static_cast<unsigned long long>(t));
+      desc = std::string(buf) + "(" + desc + ")";
+    }
+    PlanResult out;
+    out.embedding = std::move(emb);
+    out.report = std::move(r);
+    out.plan = std::move(desc);
+    return out;
+  };
+
+  // Routing attempts are O(E) each; bound them so a dense fault set cannot
+  // turn the translation scan quadratic.
+  u32 routing_budget = 64;
+  if (dodges_failed_nodes(0)) {
+    if (auto r = attempt(0)) return *r;
+    --routing_budget;
+  }
+  if (n <= 20) {
+    // Small cube: scan every translation (screening is near-free).
+    for (u64 t = 1; t < cube && routing_budget > 0; ++t) {
+      if (!dodges_failed_nodes(t)) continue;
+      if (auto r = attempt(t)) return *r;
+      --routing_budget;
+    }
+  } else {
+    // Large cube: single- and double-dimension reflections only.
+    for (u32 d1 = 0; d1 < n && routing_budget > 0; ++d1)
+      for (u32 d2 = d1; d2 < n && routing_budget > 0; ++d2) {
+        const u64 t = (u64{1} << d1) | (u64{1} << d2);
+        if (!dodges_failed_nodes(t)) continue;
+        if (auto r = attempt(t)) return *r;
+        --routing_budget;
+      }
+  }
+
+  // Rung 3: many-to-one contraction onto surviving nodes.
+  if (degrade_provider_) {
+    if (auto degraded = degrade_provider_(shape, n, faults)) {
+      VerifyReport r = verify(*degraded->embedding, faults);
+      if (r.valid && r.fault_free) {
+        PlanResult out;
+        out.embedding = std::move(degraded->embedding);
+        out.report = std::move(r);
+        out.plan = "degrade(" + degraded->plan + ")";
+        return out;
+      }
+    }
+  }
+  require(false,
+          "plan_avoiding: no fault-avoiding plan for %s in Q%u "
+          "(%zu failed nodes, %zu failed links)",
+          shape.to_string().c_str(), n, faults.num_failed_nodes(),
+          faults.num_failed_links());
+  return base;  // unreachable
 }
 
 bool Planner::achieves_minimal_dil2(const Shape& shape) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "core/fault.hpp"
 #include "core/verify.hpp"
 
 namespace hj {
@@ -36,6 +37,20 @@ namespace hj {
 /// Kept as a callback so hj_core does not depend on hj_search.
 using DirectProvider =
     std::function<std::optional<std::vector<CubeNode>>(const Mesh&, u32)>;
+
+/// A degraded (typically many-to-one) plan produced when no one-to-one
+/// fault-avoiding embedding exists.
+struct DegradedPlan {
+  EmbeddingPtr embedding;
+  std::string plan;
+};
+
+/// Hook for the last rung of the degradation ladder: embed `shape` into
+/// Q_{cube_dim} while avoiding `faults`, accepting load factor > 1
+/// (Theorem 4 / Lemma 5 machinery). Kept as a callback so hj_core does not
+/// depend on hj_manytoone; see m2o::make_degrade_provider().
+using DegradeProvider = std::function<std::optional<DegradedPlan>(
+    const Shape&, u32, const FaultSet&)>;
 
 struct PlannerOptions {
   /// Try axis extensions (strategy 3 of Section 4.2).
@@ -62,9 +77,29 @@ class Planner {
   /// Attach a search-based direct embedding source.
   void set_direct_provider(DirectProvider provider);
 
+  /// Attach a many-to-one fallback source (m2o::make_degrade_provider());
+  /// used by plan_avoiding when no one-to-one remap dodges the faults.
+  void set_degrade_provider(DegradeProvider provider);
+
   /// Best certified embedding of `shape`. Always succeeds (Gray is always
   /// available); inspect result.report for dilation / minimality.
   [[nodiscard]] PlanResult plan(const Shape& shape);
+
+  /// Best certified embedding of `shape` that avoids `faults`, walking the
+  /// degradation ladder:
+  ///   1. detour — keep the planned node map, reroute affected edge paths
+  ///      around failed links (adds <= 2 dilation per detour);
+  ///   2. healthy remap — translate/reflect the node map across cube
+  ///      dimensions (an XOR automorphism into the healthy sub-cube, which
+  ///      expansion slack allows), then detour-route;
+  ///   3. many-to-one contraction onto surviving nodes via the attached
+  ///      degrade provider (Theorem 4 machinery).
+  /// The chosen rung is recorded in PlanResult::plan, and the returned
+  /// report is certified fault-free by the extended verify(). Throws
+  /// std::invalid_argument when every rung fails (e.g. a fault set with no
+  /// healthy sub-cube and no degrade provider attached).
+  [[nodiscard]] PlanResult plan_avoiding(const Shape& shape,
+                                         const FaultSet& faults);
 
   /// True iff plan(shape) reaches the minimal cube with dilation <= 2.
   [[nodiscard]] bool achieves_minimal_dil2(const Shape& shape);
@@ -86,6 +121,7 @@ class Planner {
 
   PlannerOptions opts_;
   DirectProvider provider_;
+  DegradeProvider degrade_provider_;
   std::unordered_map<std::string, Entry> memo_;
 };
 

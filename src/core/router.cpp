@@ -1,6 +1,7 @@
 #include "core/router.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -107,6 +108,150 @@ RouteStats route_minimize_congestion(ExplicitEmbedding& emb, u32 max_passes) {
   for (const TwoHopEdge& t : twos)
     emb.set_edge_path(t.edge, CubePath{t.a, t.mid[t.choice], t.b});
 
+  stats.congestion = loads.max_load();
+  return stats;
+}
+
+namespace {
+
+/// Healthy shortest path from `a` to `b` of length <= `budget`, choosing
+/// the least-loaded link at every step; empty path when none exists.
+/// Deterministic: BFS layers are explored in neighbor-bit order and ties
+/// break toward the smaller node address.
+CubePath find_detour(u32 dim, const LinkLoads& loads, const FaultSet& faults,
+                     CubeNode a, CubeNode b, u32 budget) {
+  // Backward BFS from b over the healthy subgraph, bounded by `budget`.
+  std::unordered_map<CubeNode, u32> dist;
+  dist.emplace(b, 0);
+  std::deque<CubeNode> frontier{b};
+  while (!frontier.empty()) {
+    const CubeNode v = frontier.front();
+    frontier.pop_front();
+    const u32 d = dist[v];
+    if (v == a || d == budget) continue;
+    for (u32 bit = 0; bit < dim; ++bit) {
+      const CubeNode w = Hypercube::neighbor(v, bit);
+      if (dist.count(w) || faults.node_failed(w) || faults.link_failed(v, w))
+        continue;
+      dist.emplace(w, d + 1);
+      frontier.push_back(w);
+    }
+  }
+  const auto it = dist.find(a);
+  if (it == dist.end()) return {};
+
+  // Forward load-greedy walk along strictly decreasing distance-to-b.
+  CubePath path;
+  path.push_back(a);
+  CubeNode cur = a;
+  while (cur != b) {
+    const u32 d = dist[cur];
+    CubeNode best = cur;
+    i32 best_load = 0;
+    for (u32 bit = 0; bit < dim; ++bit) {
+      const CubeNode w = Hypercube::neighbor(cur, bit);
+      const auto wd = dist.find(w);
+      if (wd == dist.end() || wd->second + 1 != d) continue;
+      if (faults.link_failed(cur, w)) continue;
+      const i32 l = loads.get(cur, w);
+      if (best == cur || l < best_load || (l == best_load && w < best)) {
+        best = w;
+        best_load = l;
+      }
+    }
+    assert(best != cur);  // BFS reached cur via some healthy downhill link
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+/// Worst-then-sum cost of laying `path` on top of `loads` (the path's own
+/// links are assumed absent from `loads`).
+u64 path_cost(const LinkLoads& loads, const CubePath& path) {
+  u32 worst = 0;
+  u64 sum = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const u32 l = static_cast<u32>(loads.get(path[i], path[i + 1])) + 1;
+    worst = std::max(worst, l);
+    sum += l;
+  }
+  return (u64{worst} << 32) | std::min<u64>(sum, 0xffffffffu);
+}
+
+}  // namespace
+
+DetourStats route_around_faults(ExplicitEmbedding& emb, const FaultSet& faults,
+                                u32 max_added_dilation, u32 max_passes) {
+  DetourStats stats;
+  const u32 dim = emb.host_dim();
+
+  struct Affected {
+    MeshEdge edge;
+    CubeNode a, b;
+    CubePath path;  // current (replacement) path; empty until routed
+  };
+  LinkLoads loads;
+  std::vector<Affected> affected;
+
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    CubePath p = emb.edge_path(e);
+    if (faults.path_avoids(p)) {
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        loads.add(p[i], p[i + 1], 1);
+      return;
+    }
+    const CubeNode a = emb.map(e.a), b = emb.map(e.b);
+    if (faults.node_failed(a) || faults.node_failed(b)) {
+      // No route can fix an image sitting on a dead node.
+      ++stats.unroutable_edges;
+      stats.ok = false;
+      return;
+    }
+    affected.push_back({e, a, b, {}});
+  });
+
+  // Shortest-first, load-greedy initial assignment.
+  for (Affected& f : affected) {
+    const u32 budget = hamming(f.a, f.b) + max_added_dilation;
+    f.path = find_detour(dim, loads, faults, f.a, f.b, budget);
+    if (f.path.empty()) {
+      ++stats.unroutable_edges;
+      stats.ok = false;
+      continue;
+    }
+    for (std::size_t i = 0; i + 1 < f.path.size(); ++i)
+      loads.add(f.path[i], f.path[i + 1], 1);
+  }
+
+  // Local improvement over the detoured edges: re-route each with its own
+  // load removed, keep the cheaper of (old path, fresh detour).
+  for (u32 pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (Affected& f : affected) {
+      if (f.path.empty()) continue;
+      for (std::size_t i = 0; i + 1 < f.path.size(); ++i)
+        loads.add(f.path[i], f.path[i + 1], -1);
+      const u32 budget = hamming(f.a, f.b) + max_added_dilation;
+      CubePath fresh = find_detour(dim, loads, faults, f.a, f.b, budget);
+      if (!fresh.empty() && path_cost(loads, fresh) < path_cost(loads, f.path)) {
+        f.path = std::move(fresh);
+        changed = true;
+      }
+      for (std::size_t i = 0; i + 1 < f.path.size(); ++i)
+        loads.add(f.path[i], f.path[i + 1], 1);
+    }
+    if (!changed) break;
+  }
+
+  for (Affected& f : affected) {
+    if (f.path.empty()) continue;
+    ++stats.detoured_edges;
+    stats.max_added_dilation =
+        std::max(stats.max_added_dilation,
+                 static_cast<u32>(f.path.size() - 1) - hamming(f.a, f.b));
+    emb.set_edge_path(f.edge, f.path);
+  }
   stats.congestion = loads.max_load();
   return stats;
 }

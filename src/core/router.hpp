@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/embedding.hpp"
+#include "core/fault.hpp"
 
 namespace hj {
 
@@ -23,5 +24,29 @@ struct RouteStats {
 /// count toward link loads. Paths are written back with set_edge_path().
 RouteStats route_minimize_congestion(ExplicitEmbedding& emb,
                                      u32 max_passes = 16);
+
+struct DetourStats {
+  /// True iff every fault-affected edge found a healthy replacement path
+  /// within the dilation budget (and no endpoint image is a failed node —
+  /// a failed endpoint needs a node remap, which is the planner's job).
+  bool ok = true;
+  u64 detoured_edges = 0;     // edges rerouted around faults
+  u64 unroutable_edges = 0;   // edges with no healthy path in budget
+  u32 max_added_dilation = 0; // max(new path length - Hamming distance)
+  u32 congestion = 0;         // max link load after detouring
+};
+
+/// Reroute every guest-edge path of `emb` that touches a failed node or
+/// link onto a healthy cube path, adding at most `max_added_dilation` hops
+/// over the Hamming distance of the edge image (a detour through an
+/// adjacent cube dimension costs exactly 2 extra hops). Healthy paths are
+/// left untouched; replacement paths are chosen by shortest-first,
+/// load-greedy search, then tightened by local-improvement passes over the
+/// detoured edges so congestion is re-minimized. Call after
+/// route_minimize_congestion().
+DetourStats route_around_faults(ExplicitEmbedding& emb,
+                                const FaultSet& faults,
+                                u32 max_added_dilation = 2,
+                                u32 max_passes = 16);
 
 }  // namespace hj

@@ -53,20 +53,30 @@ class Shape {
     return s;
   }
 
-  /// Linear index of a coordinate.
-  [[nodiscard]] MeshIndex index(const Coord& c) const noexcept {
-    assert(c.size() == ext_.size());
+  /// Linear index of a coordinate. Throws std::invalid_argument on a rank
+  /// mismatch or an out-of-range coordinate (public entry point).
+  [[nodiscard]] MeshIndex index(const Coord& c) const {
+    require(c.size() == ext_.size(),
+            "Shape::index: coordinate rank %zu does not match shape rank %zu",
+            c.size(), ext_.size());
     MeshIndex idx = 0;
     for (u32 i = 0; i < dims(); ++i) {
-      assert(c[i] < ext_[i]);
+      require(c[i] < ext_[i],
+              "Shape::index: coordinate %llu out of range [0, %llu) on axis %u",
+              static_cast<unsigned long long>(c[i]),
+              static_cast<unsigned long long>(ext_[i]), i);
       idx = idx * ext_[i] + c[i];
     }
     return idx;
   }
 
-  /// Coordinate of a linear index.
-  [[nodiscard]] Coord coord(MeshIndex idx) const noexcept {
-    assert(idx < num_nodes());
+  /// Coordinate of a linear index. Throws std::invalid_argument when the
+  /// index falls outside the mesh (public entry point).
+  [[nodiscard]] Coord coord(MeshIndex idx) const {
+    require(idx < num_nodes(),
+            "Shape::coord: index %llu out of range [0, %llu)",
+            static_cast<unsigned long long>(idx),
+            static_cast<unsigned long long>(num_nodes()));
     Coord c(dims(), 0);
     for (u32 i = dims(); i-- > 0;) {
       c[i] = idx % ext_[i];

@@ -65,7 +65,9 @@ class CongestionCounter {
 
 }  // namespace
 
-VerifyReport verify(const Embedding& emb) {
+namespace {
+
+VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
   VerifyReport r;
   const Mesh& guest = emb.guest();
   const Hypercube host = emb.host();
@@ -88,6 +90,13 @@ VerifyReport verify(const Embedding& emb) {
       if (!host.contains(v)) {
         add_error(r, "node " + std::to_string(i) + " mapped outside the cube");
         continue;
+      }
+      if (faults && faults->node_failed(v)) {
+        // Fault hits are certified separately from structural validity:
+        // the embedding may be perfectly well-formed, just not usable on
+        // this particular broken machine.
+        ++r.faulted_nodes;
+        r.fault_free = false;
       }
       const u64 l = dense ? ++dense_load[v] : ++load[v];
       max_load = std::max(max_load, l);
@@ -120,6 +129,10 @@ VerifyReport verify(const Embedding& emb) {
     dil_sum += d;
     dil_max = std::max(dil_max, d);
     bump(r.dilation_histogram, d);
+    if (faults && !faults->path_avoids(p)) {
+      ++r.faulted_paths;
+      r.fault_free = false;
+    }
     for (std::size_t i = 0; i + 1 < p.size(); ++i) cong.add(p[i], p[i + 1]);
   });
   if (bad_paths > 1)
@@ -147,6 +160,14 @@ VerifyReport verify(const Embedding& emb) {
   return r;
 }
 
+}  // namespace
+
+VerifyReport verify(const Embedding& emb) { return verify_impl(emb, nullptr); }
+
+VerifyReport verify(const Embedding& emb, const FaultSet& faults) {
+  return verify_impl(emb, &faults);
+}
+
 bool verify_certified(const Embedding& emb, u32 max_dil, VerifyReport* out) {
   VerifyReport r = verify(emb);
   const bool ok = r.valid && r.dilation <= max_dil && r.minimal_expansion;
@@ -164,7 +185,9 @@ std::string summary(const VerifyReport& r, const Embedding& emb) {
                 r.dilation, r.avg_dilation, r.congestion, r.avg_congestion,
                 static_cast<unsigned long long>(r.load_factor),
                 r.valid ? "" : "  [INVALID]");
-  return std::string(buf);
+  std::string out(buf);
+  if (!r.fault_free) out += "  [FAULTED]";
+  return out;
 }
 
 std::string detailed_summary(const VerifyReport& r, const Embedding& emb) {

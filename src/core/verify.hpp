@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "core/fault.hpp"
 
 namespace hj {
 
@@ -48,11 +49,23 @@ struct VerifyReport {
   /// Definition 5. Maximum number of guest nodes sharing a cube node
   /// (1 for a valid one-to-one embedding).
   u64 load_factor = 0;
+
+  /// True iff no image node and no routed path touches the fault set the
+  /// verification ran against (trivially true when verified without one).
+  bool fault_free = true;
+  /// Image nodes / edge paths found on failed hardware.
+  u64 faulted_nodes = 0;
+  u64 faulted_paths = 0;
 };
 
 /// Measure (and validate) an embedding. Never throws on a bad embedding;
-/// inspect report.valid / report.errors.
+/// inspect report.valid / report.errors. With a fault set, additionally
+/// certify that the embedding avoids every failed node and link
+/// (report.fault_free); fault hits are reported, not treated as structural
+/// invalidity.
 [[nodiscard]] VerifyReport verify(const Embedding& emb);
+[[nodiscard]] VerifyReport verify(const Embedding& emb,
+                                  const FaultSet& faults);
 
 /// Convenience: verify and require structural validity, dilation <= max_dil
 /// and minimal expansion; used in tests and by the planner's certificates.

@@ -1,0 +1,59 @@
+#include "hypersim/fault.hpp"
+
+#include <cstdlib>
+
+namespace hj::sim {
+namespace {
+
+u64 parse_u64(const std::string& s) {
+  char* end = nullptr;
+  const u64 v = std::strtoull(s.c_str(), &end, 10);
+  require(end != s.c_str() && *end == '\0',
+          "parse_fault_spec: '%s' is not a number", s.c_str());
+  return v;
+}
+
+}  // namespace
+
+FaultModel parse_fault_spec(const std::string& spec) {
+  FaultModel model;
+  double p = 0.0;
+  u64 seed = 0;
+  bool transient = false;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string term = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (term.empty()) continue;
+    const std::size_t eq = term.find('=');
+    require(eq != std::string::npos,
+            "parse_fault_spec: expected key=value, got '%s'", term.c_str());
+    const std::string key = term.substr(0, eq);
+    const std::string val = term.substr(eq + 1);
+    if (key == "node") {
+      model.permanent().fail_node(parse_u64(val));
+    } else if (key == "link") {
+      const std::size_t dash = val.find('-');
+      require(dash != std::string::npos,
+              "parse_fault_spec: link wants <a>-<b>, got '%s'", val.c_str());
+      model.permanent().fail_link(parse_u64(val.substr(0, dash)),
+                                  parse_u64(val.substr(dash + 1)));
+    } else if (key == "p") {
+      char* end = nullptr;
+      p = std::strtod(val.c_str(), &end);
+      require(end != val.c_str() && *end == '\0',
+              "parse_fault_spec: '%s' is not a probability", val.c_str());
+      transient = true;
+    } else if (key == "seed") {
+      seed = parse_u64(val);
+    } else {
+      require(false, "parse_fault_spec: unknown key '%s'", key.c_str());
+    }
+  }
+  if (transient) model.set_transient(p, seed);
+  return model;
+}
+
+}  // namespace hj::sim

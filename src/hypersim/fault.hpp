@@ -1,0 +1,91 @@
+// hjembed: fault model and injection for the cube-network simulator.
+//
+// Layers simulation-time behaviour on top of the structural hj::FaultSet:
+//
+//   * Permanent faults (dead nodes / links) come from the embedded
+//     FaultSet. A route crossing one can never be delivered; the simulator
+//     reports the message as failed instead of stalling to max_cycles.
+//   * Transient link faults: every directed link independently drops all
+//     flit transmissions attempted on it during a cycle with probability
+//     `drop_p`. Drops are derived from a counter-based hash of
+//     (seed, cycle, link), so a given seed yields the identical fault
+//     trace regardless of message count, arbitration order, or which
+//     queries are made — same seed, same SimResult, reproducibly.
+//
+// A dropped transmission is retried by the simulator (the iPSC-era
+// link-level retry); retries per message are bounded (SimConfig::
+// max_retries), after which the message is declared failed — the
+// "bounded retry with timeout" discipline, the timeout being the global
+// max_cycles cap.
+#pragma once
+
+#include <string>
+
+#include "core/fault.hpp"
+
+namespace hj::sim {
+
+/// Permanent failed nodes/links plus seeded transient link faults.
+class FaultModel {
+ public:
+  FaultModel() = default;
+  explicit FaultModel(FaultSet permanent) : permanent_(std::move(permanent)) {}
+
+  /// Structural (permanent) faults; mutate freely before the run.
+  [[nodiscard]] FaultSet& permanent() noexcept { return permanent_; }
+  [[nodiscard]] const FaultSet& permanent() const noexcept {
+    return permanent_;
+  }
+
+  /// Enable transient faults: each directed link drops the transmissions
+  /// attempted on it in a given cycle with probability `p`.
+  void set_transient(double p, u64 seed) {
+    require(p >= 0.0 && p < 1.0,
+            "FaultModel::set_transient: drop probability %f outside [0, 1)",
+            p);
+    drop_p_ = p;
+    seed_ = seed;
+    // Probability threshold in fixed point: drop iff hash < p * 2^64.
+    threshold_ = p <= 0.0
+                     ? 0
+                     : static_cast<u64>(p * 18446744073709551616.0 /* 2^64 */);
+  }
+
+  [[nodiscard]] double drop_p() const noexcept { return drop_p_; }
+  [[nodiscard]] u64 seed() const noexcept { return seed_; }
+  [[nodiscard]] bool has_transient() const noexcept { return threshold_ != 0; }
+
+  /// True iff the directed link `link_id` drops transmissions in `cycle`.
+  /// Pure function of (seed, cycle, link_id): deterministic and order-free.
+  [[nodiscard]] bool drops(u64 cycle, u64 link_id) const noexcept {
+    if (threshold_ == 0) return false;
+    return mix(seed_ ^ (cycle * 0x9e3779b97f4a7c15ull) ^
+               (link_id * 0xbf58476d1ce4e5b9ull)) < threshold_;
+  }
+
+ private:
+  /// splitmix64 finalizer: a well-mixed 64-bit hash of the counter state.
+  [[nodiscard]] static u64 mix(u64 x) noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  FaultSet permanent_;
+  double drop_p_ = 0.0;
+  u64 seed_ = 0;
+  u64 threshold_ = 0;
+};
+
+/// Parse a fault specification, e.g. "node=5,link=3-7,p=0.01,seed=42":
+/// comma-separated terms `node=<v>` (failed node), `link=<a>-<b>` (failed
+/// link between adjacent nodes), `p=<prob>` (transient drop probability),
+/// `seed=<s>` (transient fault seed). Used by the hj_embed CLI `--faults`
+/// flag and the fault-resilience bench. Throws std::invalid_argument on a
+/// malformed spec.
+[[nodiscard]] FaultModel parse_fault_spec(const std::string& spec);
+
+}  // namespace hj::sim

@@ -8,7 +8,10 @@ namespace {
 
 /// Directed link id: source node * dim + flipped bit.
 u64 link_id(CubeNode from, CubeNode to, u32 dim) {
-  assert(Hypercube::adjacent(from, to));
+  require(Hypercube::adjacent(from, to),
+          "link_id: nodes %llu and %llu are not cube-adjacent",
+          static_cast<unsigned long long>(from),
+          static_cast<unsigned long long>(to));
   return from * dim + static_cast<u64>(std::countr_zero(from ^ to));
 }
 
@@ -83,8 +86,9 @@ SimResult CubeNetwork::run() {
 
   const u32 dim = std::max(config_.cube_dim, 1u);
   const u32 flits = config_.message_flits;
+  const FaultModel* faults = config_.faults;
 
-  // Static route statistics.
+  // Static route statistics (over all queued routes, failed or not).
   std::unordered_map<u64, u32> static_load;
   for (const CubePath& r : routes_) {
     result.total_hops += r.size() - 1;
@@ -109,6 +113,8 @@ SimResult CubeNetwork::run() {
   // Dependency bookkeeping: children[m] are released when m completes.
   std::vector<std::vector<u32>> children(routes_.size());
   std::vector<bool> done(routes_.size(), false);
+  std::vector<bool> failed(routes_.size(), false);
+  std::vector<u32> retries(routes_.size(), 0);
   std::vector<u32> active;
   std::vector<u32> roots;
   for (u32 m = 0; m < routes_.size(); ++m) {
@@ -118,18 +124,34 @@ SimResult CubeNetwork::run() {
     else
       roots.push_back(m);
   }
+  // A message whose route crosses a permanent fault can never be
+  // delivered: fail it up front (and, transitively, its dependents)
+  // instead of stalling the run to max_cycles.
+  const auto fail = [&](u32 m, const auto& self) -> void {
+    if (failed[m]) return;
+    failed[m] = true;
+    ++result.failed_messages;
+    for (u32 c : children[m]) self(c, self);
+  };
+  if (faults && !faults->permanent().empty()) {
+    for (u32 m = 0; m < routes_.size(); ++m)
+      if (!faults->permanent().path_avoids(routes_[m])) fail(m, fail);
+  }
   // Release a message: zero-hop messages complete instantly and cascade.
   const auto release = [&](u32 m, std::vector<u32>& out,
                            const auto& self) -> void {
+    if (failed[m]) return;
     if (!crossed[m].empty()) {
       out.push_back(m);
       return;
     }
     done[m] = true;
+    ++result.delivered;
     for (u32 c : children[m]) self(c, out, self);
   };
   for (u32 m : roots) release(m, active, release);
 
+  const bool transient = faults && faults->has_transient();
   std::unordered_map<u64, u32> used_this_cycle;
   used_this_cycle.reserve(static_load.size());
   while (!active.empty() && result.cycles < config_.max_cycles) {
@@ -138,6 +160,7 @@ SimResult CubeNetwork::run() {
     std::vector<u32> still_active;
     still_active.reserve(active.size());
     for (u32 m : active) {
+      if (failed[m]) continue;  // retry budget ran out earlier this cycle
       const CubePath& r = routes_[m];
       auto& c = crossed[m];
       const u32 hops = static_cast<u32>(c.size());
@@ -145,15 +168,26 @@ SimResult CubeNetwork::run() {
         const u32 upstream = h == 0 ? flits : c[h - 1];
         if (c[h] >= flits || c[h] >= upstream) continue;
         if (!cut_through && upstream < flits) continue;
-        u32& used = used_this_cycle[link_id(r[h], r[h + 1], dim)];
+        const u64 link = link_id(r[h], r[h + 1], dim);
+        u32& used = used_this_cycle[link];
         if (used >= config_.link_bandwidth) continue;
-        ++used;
+        ++used;  // a dropped transmission still occupies the link slot
+        if (transient && faults->drops(result.cycles, link)) {
+          ++result.dropped_flits;
+          if (++retries[m] > config_.max_retries) {
+            fail(m, fail);
+            break;  // retry budget exhausted: message (and dependents) die
+          }
+          continue;
+        }
         ++c[h];
       }
+      if (failed[m]) continue;
       if (c[hops - 1] < flits) {
         still_active.push_back(m);
       } else {
         done[m] = true;
+        ++result.delivered;
         for (u32 child : children[m])
           release(child, still_active, release);
       }
@@ -161,11 +195,16 @@ SimResult CubeNetwork::run() {
     active.swap(still_active);
   }
 
+  // A run that still has messages in flight was truncated by max_cycles.
+  result.completed =
+      result.delivered == result.messages && result.failed_messages == 0;
   result.slowdown_vs_bound =
       result.messages == 0
           ? 1.0
-          : static_cast<double>(result.cycles) /
-                static_cast<double>(std::max<u64>(1, result.lower_bound()));
+          : !result.completed
+                ? 0.0
+                : static_cast<double>(result.cycles) /
+                      static_cast<double>(std::max<u64>(1, result.lower_bound()));
   routes_.clear();
   deps_.clear();
   return result;
@@ -175,6 +214,16 @@ SimResult simulate_stencil(const Embedding& emb, u32 link_bandwidth,
                            Switching sw, u32 flits) {
   CubeNetwork net(
       SimConfig{emb.host_dim(), link_bandwidth, 1'000'000, sw, flits});
+  net.add_stencil_exchange(emb);
+  return net.run();
+}
+
+SimResult simulate_stencil(const Embedding& emb, const SimConfig& config) {
+  require(config.cube_dim == emb.host_dim(),
+          "simulate_stencil: config cube dimension %u does not match the "
+          "embedding host Q%u",
+          config.cube_dim, emb.host_dim());
+  CubeNetwork net(config);
   net.add_stencil_exchange(emb);
   return net.run();
 }

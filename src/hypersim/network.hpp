@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/embedding.hpp"
+#include "hypersim/fault.hpp"
 
 namespace hj::sim {
 
@@ -41,6 +42,13 @@ struct SimConfig {
   Switching switching = Switching::StoreAndForward;
   /// Flits per message (message length).
   u32 message_flits = 1;
+  /// Optional fault injection. Not owned; must outlive run(). Routes
+  /// crossing a permanent fault are reported failed (never simulated);
+  /// transient drops are retried up to `max_retries` per message.
+  const FaultModel* faults = nullptr;
+  /// Bound on transient-fault retries per message before the message is
+  /// declared failed (SimResult::failed_messages, completed = false).
+  u32 max_retries = 64;
 };
 
 struct SimResult {
@@ -56,6 +64,20 @@ struct SimResult {
   u32 message_flits = 1;
   u32 link_bandwidth = 1;
 
+  /// True iff every message was fully delivered: the run drained before
+  /// max_cycles and no message failed. A capped (truncated) run is no
+  /// longer indistinguishable from a drained one.
+  bool completed = false;
+  /// Messages fully delivered.
+  u64 delivered = 0;
+  /// Messages that can never arrive: routed over a permanent fault,
+  /// exhausted their transient retry budget, or starved behind a failed
+  /// dependency.
+  u64 failed_messages = 0;
+  /// Flit transmissions dropped by transient link faults (each one costs
+  /// a retry cycle on that hop).
+  u64 dropped_flits = 0;
+
   /// A simple schedule lower bound for the configured switching mode.
   [[nodiscard]] u64 lower_bound() const {
     const u64 serial = (u64{max_link_load} * message_flits + link_bandwidth -
@@ -68,6 +90,8 @@ struct SimResult {
     return std::max(latency, serial);
   }
   /// cycles / lower_bound: 1.0 means the schedule is provably optimal.
+  /// Only meaningful for completed runs; 0.0 when !completed (a capped or
+  /// fault-broken run has no meaningful schedule length).
   double slowdown_vs_bound = 0.0;
 };
 
@@ -112,5 +136,10 @@ class CubeNetwork {
                                          Switching sw =
                                              Switching::StoreAndForward,
                                          u32 flits = 1);
+
+/// Stencil exchange under an explicit configuration (fault injection,
+/// retry budgets, ...). `config.cube_dim` must match the embedding's host.
+[[nodiscard]] SimResult simulate_stencil(const Embedding& emb,
+                                         const SimConfig& config);
 
 }  // namespace hj::sim

@@ -144,6 +144,121 @@ ContractPlan contract_to_cube(const Shape& shape, u32 n) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+
+SubcubeEmbedding::SubcubeEmbedding(EmbeddingPtr base, u32 host_dim,
+                                   u64 fixed_mask, u64 fixed_value)
+    : Embedding(base->guest(), host_dim),
+      base_(std::move(base)),
+      fixed_mask_(fixed_mask),
+      fixed_value_(fixed_value) {
+  require(host_dim <= 63, "SubcubeEmbedding: cube too large");
+  require((fixed_value & ~fixed_mask) == 0,
+          "SubcubeEmbedding: fixed value 0x%llx outside its mask 0x%llx",
+          static_cast<unsigned long long>(fixed_value),
+          static_cast<unsigned long long>(fixed_mask));
+  require(fixed_mask < (u64{1} << host_dim),
+          "SubcubeEmbedding: mask outside the host cube");
+  const u32 free_bits =
+      host_dim - static_cast<u32>(std::popcount(fixed_mask));
+  require(base_->host_dim() == free_bits,
+          "SubcubeEmbedding: base Q%u does not fill the Q%u sub-cube",
+          base_->host_dim(), free_bits);
+}
+
+CubeNode SubcubeEmbedding::expand(CubeNode v) const noexcept {
+  // Spread the base address bits over the free positions, low to high.
+  CubeNode out = fixed_value_;
+  u32 src = 0;
+  for (u32 j = 0; j < host_dim(); ++j) {
+    if (fixed_mask_ & (u64{1} << j)) continue;
+    out |= ((v >> src) & 1) << j;
+    ++src;
+  }
+  return out;
+}
+
+CubeNode SubcubeEmbedding::map(MeshIndex idx) const {
+  return expand(base_->map(idx));
+}
+
+CubePath SubcubeEmbedding::edge_path(const MeshEdge& e) const {
+  CubePath out;
+  for (CubeNode v : base_->edge_path(e)) out.push_back(expand(v));
+  return out;
+}
+
+DegradeProvider make_degrade_provider() {
+  return [](const Shape& shape, u32 n,
+            const FaultSet& faults) -> std::optional<DegradedPlan> {
+    // A sub-cube (fix the bits in `mask` to `value`) survives iff it
+    // contains no failed node and no failed link with both endpoints
+    // inside it (a link across a fixed dimension leaves the sub-cube).
+    const auto healthy = [&](u64 mask, u64 value) {
+      for (CubeNode f : faults.failed_nodes())
+        if ((f & mask) == value) return false;
+      for (u64 key : faults.failed_link_keys()) {
+        const CubeNode lo = key >> 6;
+        const u32 bit = static_cast<u32>(key & 63);
+        if (mask & (u64{1} << bit)) continue;  // crosses a fixed dimension
+        if ((lo & mask) == value) return false;
+      }
+      return true;
+    };
+
+    // Fewest fixed bits first: every pinned bit halves the surviving
+    // machine and roughly doubles the load factor.
+    u64 mask = 0, value = 0;
+    bool found = false;
+    for (u32 k = 1; k <= 3 && k <= n && !found; ++k) {
+      SmallVec<u32, 4> bits(k, 0);
+      for (u32 i = 0; i < k; ++i) bits[i] = i;
+      for (;;) {
+        u64 m = 0;
+        for (u32 i = 0; i < k; ++i) m |= u64{1} << bits[i];
+        for (u64 sub = 0; sub < (u64{1} << k); ++sub) {
+          // Scatter `sub` over the chosen bit positions.
+          u64 v = 0;
+          for (u32 i = 0; i < k; ++i)
+            if (sub & (u64{1} << i)) v |= u64{1} << bits[i];
+          if (healthy(m, v)) {
+            mask = m;
+            value = v;
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+        // Next k-combination of bit positions.
+        bool advanced = false;
+        for (u32 i = k; i-- > 0;) {
+          if (bits[i] + (k - i) < n) {
+            ++bits[i];
+            for (u32 j = i + 1; j < k; ++j) bits[j] = bits[j - 1] + 1;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) break;
+      }
+    }
+    if (!found) return std::nullopt;
+
+    const u32 m = n - static_cast<u32>(std::popcount(mask));
+    ContractPlan plan = contract_to_cube(shape, m);
+    if (!plan.report.valid) return std::nullopt;
+    DegradedPlan out;
+    out.embedding = std::make_shared<SubcubeEmbedding>(plan.embedding, n,
+                                                       mask, value);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " into subcube[mask=0x%llx val=0x%llx]",
+                  static_cast<unsigned long long>(mask),
+                  static_cast<unsigned long long>(value));
+    out.plan = plan.plan + buf;
+    return out;
+  };
+}
+
 bool corollary5_condition(const Shape& shape, u32 n) {
   const u32 k = shape.dims();
   const u64 target = ceil_pow2(shape.num_nodes());

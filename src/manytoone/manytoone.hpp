@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/embedding.hpp"
+#include "core/planner.hpp"
 #include "core/verify.hpp"
 
 namespace hj::m2o {
@@ -94,5 +95,38 @@ struct ContractPlan {
 /// sum n_i >= n. When it holds, contract_to_cube's load factor is within a
 /// factor of two of optimal; when it fails the paper makes no promise.
 [[nodiscard]] bool corollary5_condition(const Shape& shape, u32 n);
+
+// --- Fault-tolerant degradation (the last rung of the planner ladder). ---
+
+/// Places an embedding into Q_{host_dim} by pinning the address bits in
+/// `fixed_mask` to `fixed_value` and spreading the base host's bits over
+/// the free positions: the image lives entirely inside one sub-cube.
+/// Dilation, congestion and load factor are those of the base embedding.
+class SubcubeEmbedding final : public Embedding {
+ public:
+  SubcubeEmbedding(EmbeddingPtr base, u32 host_dim, u64 fixed_mask,
+                   u64 fixed_value);
+
+  [[nodiscard]] CubeNode map(MeshIndex idx) const override;
+  [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+  [[nodiscard]] bool one_to_one() const noexcept override {
+    return base_->host_dim() == host_dim() && base_->one_to_one();
+  }
+
+ private:
+  [[nodiscard]] CubeNode expand(CubeNode v) const noexcept;
+
+  EmbeddingPtr base_;
+  u64 fixed_mask_;
+  u64 fixed_value_;
+};
+
+/// Degrade provider for Planner::plan_avoiding: when no one-to-one remap
+/// dodges the fault set, find a fault-free sub-cube of Q_n (fixing up to
+/// three address bits), contract the mesh into it with Lemma 5 / Corollary
+/// 5 machinery (dilation 1, near-optimal load factor over the surviving
+/// nodes), and place it there. Returns nothing when no such sub-cube
+/// exists.
+[[nodiscard]] DegradeProvider make_degrade_provider();
 
 }  // namespace hj::m2o

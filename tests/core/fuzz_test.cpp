@@ -86,6 +86,74 @@ TEST(FailureInjection, OutOfCubeNodeRejectedAtConstruction) {
                std::invalid_argument);
 }
 
+// --- Malformed io::from_text inputs: always throw, never crash. ---
+
+TEST(IoFuzz, TruncatedInputsThrowOrParse) {
+  const std::string text = io::to_text(*good_embedding());
+  // Every prefix must either parse cleanly (if it happens to contain a
+  // complete document) or throw std::invalid_argument — never crash or
+  // return a torn object.
+  for (std::size_t len = 0; len < text.size(); len += 3) {
+    try {
+      auto emb = io::from_text(text.substr(0, len));
+      ASSERT_NE(emb, nullptr);
+    } catch (const std::invalid_argument&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+TEST(IoFuzz, MalformedInputsThrow) {
+  const char* cases[] = {
+      "",                                             // empty
+      "hjembed",                                      // header cut short
+      "hjembed 2\nshape 2 2\n",                       // unknown version
+      "bogus 1\nshape 2 2\n",                         // wrong magic
+      "hjembed 1\nshape\nwrap 0\ncube 2\nmap 0\nend",  // empty shape
+      "hjembed 1\nshape 2 0\nwrap 0 0\ncube 2\nmap 0 1 2 3\nend",  // zero extent
+      "hjembed 1\nshape 2 2\nwrap 0\ncube 2\nmap 0 1 2 3\nend",    // short wrap
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2\nend",    // short map
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 x\nend",  // bad number
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 99\nmap 0 1 2 3\nend",  // cube > 63
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 7\nend",  // out of cube
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n",     // missing end
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\njunk\nend",
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n"
+      "path 9 0 0 0 1\nend",                          // path node out of range
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n"
+      "path 0 7 0 0 1\nend",                          // path axis out of range
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n"
+      "path 0 0 1 0 1\nend",                          // wrap path, unwrapped mesh
+  };
+  for (const char* c : cases)
+    EXPECT_THROW((void)io::from_text(c), std::invalid_argument) << c;
+}
+
+TEST(IoFuzz, HugeShapeHeaderThrowsInsteadOfAllocating) {
+  // An absurd shape header must be rejected before the node map is
+  // allocated (no bad_alloc, no u64 overflow wrapping to a small product).
+  const char* cases[] = {
+      "hjembed 1\nshape 18446744073709551615 2\nwrap 0 0\ncube 2\nmap 0\nend",
+      "hjembed 1\nshape 4294967296 4294967296\nwrap 0 0\ncube 2\nmap 0\nend",
+      "hjembed 1\nshape 99999999999\nwrap 0\ncube 2\nmap 0\nend",
+  };
+  for (const char* c : cases)
+    EXPECT_THROW((void)io::from_text(c), std::invalid_argument) << c;
+}
+
+TEST(IoFuzz, DuplicatePathKeyThrows) {
+  std::string text =
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n"
+      "path 0 1 0 0 1\n"
+      "path 0 1 0 0 1\nend";
+  EXPECT_THROW((void)io::from_text(text), std::invalid_argument);
+  // The same path given once is fine.
+  std::string once =
+      "hjembed 1\nshape 2 2\nwrap 0 0\ncube 2\nmap 0 1 2 3\n"
+      "path 0 1 0 0 1\nend";
+  EXPECT_TRUE(verify(*io::from_text(once)).valid);
+}
+
 // --- Random-shape property sweeps. ---
 
 Shape random_shape(std::mt19937_64& rng, u32 max_dims, u64 max_nodes) {

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Build the full tree with AddressSanitizer + UBSan (the HJ_SANITIZE
+# option) and run the test suite under it. Uses a separate build
+# directory so the regular build stays untouched.
+#
+#   tools/run_sanitized.sh [build-dir]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -B "$build" -S "$repo" -DHJ_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
