@@ -3,21 +3,65 @@
 // embedding under the paper's methods 1..4.
 //
 // Paper headline at n = 9: 28.5% / 81.5% / 82.9% / 96.1%.
+//
+// Every computed row is diffed against the checked-in golden counts, and
+// the n = 9 row additionally against the paper's published percentages
+// (tolerance ±0.05); any drift makes the binary exit non-zero, so the
+// headline claim is CI-checkable — run a small max_n for a fast gate or
+// the full `fig2_coverage 9` for the paper reproduction. HJ_THREADS (or
+// --threads=N) sets the sweep's worker count; counts are identical at
+// every thread count.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "core/coverage.hpp"
+#include "core/parallel.hpp"
 
 using namespace hj;
 
+namespace {
+
+struct Golden {
+  u64 total;
+  u64 by_method[5];  // [0] = uncovered, [1..4] = first covering method
+};
+
+// Exact sweep counts for n = 1..9, recorded from the serial sweep; the
+// n = 9 row reproduces the paper's 28.5 / 81.5 / 82.9 / 96.1.
+constexpr Golden kGolden[9] = {
+    {8, {0, 8, 0, 0, 0}},
+    {64, {0, 63, 0, 1, 0}},
+    {512, {4, 395, 93, 20, 0}},
+    {4096, {143, 2454, 1291, 189, 19}},
+    {32768, {1900, 15121, 13938, 1082, 727}},
+    {262144, {17873, 99219, 125054, 6773, 13225}},
+    {2097152, {127637, 689514, 1064967, 40547, 174487}},
+    {16777216, {849789, 5050442, 8761091, 271699, 1844195}},
+    {134217728, {5209758, 38315283, 71055945, 1933838, 17702904}},
+};
+
+constexpr double kPaperAtN9[4] = {28.5, 81.5, 82.9, 96.1};
+constexpr double kTolerance = 0.05;
+
+}  // namespace
+
 int main(int argc, char** argv) {
   u32 max_n = 9;
-  if (argc > 1) max_n = static_cast<u32>(std::atoi(argv[1]));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
+    else
+      max_n = static_cast<u32>(std::atoi(argv[i]));
+  }
 
   std::printf("E2 / Figure 2: cumulative %% of 3D meshes reaching minimal "
-              "expansion with dilation <= 2\n");
+              "expansion with dilation <= 2 (%u threads)\n",
+              par::thread_count());
   std::printf("%-4s %-10s %-10s %-10s %-10s %-10s %-8s\n", "n", "S1(gray)",
               "S2(pair)", "S3(3x3xL)", "S4(split)", "uncovered", "time");
+  int failures = 0;
   for (u32 n = 1; n <= max_n; ++n) {
     const auto t0 = std::chrono::steady_clock::now();
     const coverage::SweepCounts c = coverage::sweep_3d(n);
@@ -28,7 +72,33 @@ int main(int argc, char** argv) {
                 c.cumulative_percent(1), c.cumulative_percent(2),
                 c.cumulative_percent(3), c.cumulative_percent(4),
                 100.0 - c.cumulative_percent(4), dt);
+    if (n <= 9) {
+      const Golden& g = kGolden[n - 1];
+      bool row_ok = c.total == g.total;
+      for (u32 m = 0; m < 5; ++m) row_ok = row_ok && c.by_method[m] == g.by_method[m];
+      if (!row_ok) {
+        std::printf("  DRIFT at n=%u: counts differ from the recorded "
+                    "golden sweep\n", n);
+        ++failures;
+      }
+    }
+    if (n == 9) {
+      for (u32 i = 1; i <= 4; ++i) {
+        const double got = c.cumulative_percent(i);
+        if (std::fabs(got - kPaperAtN9[i - 1]) > kTolerance) {
+          std::printf("  DRIFT at n=9: S%u = %.2f, paper says %.1f "
+                      "(tolerance %.2f)\n", i, got, kPaperAtN9[i - 1],
+                      kTolerance);
+          ++failures;
+        }
+      }
+    }
   }
   std::printf("\npaper at n=9: S1=28.5  S2=81.5  S3=82.9  S4=96.1\n");
+  if (failures) {
+    std::printf("FAILED: %d drift(s) from the recorded/published figures\n",
+                failures);
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,158 @@
+// E17 — parallel batch engine: serial-vs-N-thread speedup and (crucially)
+// bit-identical results for the three batch paths built on par:: —
+// coverage::sweep_3d, verify_batch and plan_batch.
+//
+// Emits one JSON row per (workload, thread count) to stdout; diagnostic
+// text goes to stderr. Any cross-thread-count mismatch exits non-zero.
+//
+//   ./perf_parallel > BENCH_parallel.json
+//
+// Workloads:
+//   * sweep n=1..9           — the Figure 2 triple sweep
+//   * verify_batch, 2k plans — certify 2000 planned embeddings
+//   * plan_batch, 2k shapes  — plan 2000 random shapes (shared cache)
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/parallel.hpp"
+#include "core/planner.hpp"
+#include "core/verify.hpp"
+
+using namespace hj;
+
+namespace {
+
+constexpr u32 kThreadCounts[] = {1, 2, 4, 8};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void emit(const char* workload, u32 param, u32 threads, double seconds,
+          double serial_seconds, bool identical) {
+  std::printf("{\"exp\": \"E17\", \"workload\": \"%s\", \"size\": %u, "
+              "\"threads\": %u, \"seconds\": %.4f, \"speedup\": %.2f, "
+              "\"identical\": %s}\n",
+              workload, param, threads, seconds,
+              seconds > 0 ? serial_seconds / seconds : 0.0,
+              identical ? "true" : "false");
+}
+
+bool same_report(const VerifyReport& a, const VerifyReport& b) {
+  return a.valid == b.valid && a.dilation == b.dilation &&
+         a.congestion == b.congestion && a.host_dim == b.host_dim &&
+         a.expansion == b.expansion && a.avg_dilation == b.avg_dilation &&
+         a.avg_congestion == b.avg_congestion &&
+         a.load_factor == b.load_factor &&
+         a.dilation_histogram == b.dilation_histogram &&
+         a.congestion_histogram == b.congestion_histogram;
+}
+
+std::vector<Shape> random_shapes(std::size_t count) {
+  std::mt19937_64 rng(0xE17);
+  std::uniform_int_distribution<u64> axis(2, 32);
+  std::uniform_int_distribution<u32> rank(1, 3);
+  std::vector<Shape> shapes;
+  shapes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SmallVec<u64, 4> ext;
+    const u32 k = rank(rng);
+    for (u32 d = 0; d < k; ++d) ext.push_back(axis(rng));
+    shapes.push_back(Shape{ext});
+  }
+  return shapes;
+}
+
+}  // namespace
+
+int main() {
+  int mismatches = 0;
+
+  // --- sweep_3d, n = 1..9 ---
+  for (u32 n = 1; n <= 9; ++n) {
+    coverage::SweepCounts reference;
+    double serial_seconds = 0;
+    for (u32 threads : kThreadCounts) {
+      par::set_thread_override(threads);
+      const double t0 = now_seconds();
+      const coverage::SweepCounts c = coverage::sweep_3d(n);
+      const double dt = now_seconds() - t0;
+      if (threads == 1) {
+        reference = c;
+        serial_seconds = dt;
+      }
+      const bool identical = c.by_method == reference.by_method &&
+                             c.total == reference.total;
+      if (!identical) ++mismatches;
+      if (n >= 6 || threads == 1)  // tiny sweeps are pure overhead rows
+        emit("sweep_3d", n, threads, dt, serial_seconds, identical);
+    }
+  }
+
+  // --- verify_batch over 2000 planned embeddings ---
+  const std::vector<Shape> shapes = random_shapes(2000);
+  par::set_thread_override(1);
+  std::vector<PlanResult> plans = plan_batch(shapes);
+  std::vector<EmbeddingPtr> embs;
+  embs.reserve(plans.size());
+  for (const PlanResult& p : plans) embs.push_back(p.embedding);
+  {
+    std::vector<VerifyReport> reference;
+    double serial_seconds = 0;
+    for (u32 threads : kThreadCounts) {
+      par::set_thread_override(threads);
+      const double t0 = now_seconds();
+      const std::vector<VerifyReport> reports = verify_batch(embs);
+      const double dt = now_seconds() - t0;
+      bool identical = true;
+      if (threads == 1) {
+        reference = reports;
+        serial_seconds = dt;
+      } else {
+        for (std::size_t i = 0; i < reports.size(); ++i)
+          identical = identical && same_report(reports[i], reference[i]);
+      }
+      if (!identical) ++mismatches;
+      emit("verify_batch", 2000, threads, dt, serial_seconds, identical);
+    }
+  }
+
+  // --- plan_batch over the same 2000 shapes ---
+  {
+    std::vector<PlanResult> reference;
+    double serial_seconds = 0;
+    for (u32 threads : kThreadCounts) {
+      par::set_thread_override(threads);
+      const double t0 = now_seconds();
+      std::vector<PlanResult> results = plan_batch(shapes);
+      const double dt = now_seconds() - t0;
+      bool identical = true;
+      if (threads == 1) {
+        reference = std::move(results);
+        serial_seconds = dt;
+      } else {
+        for (std::size_t i = 0; i < results.size(); ++i)
+          identical = identical && results[i].plan == reference[i].plan &&
+                      same_report(results[i].report, reference[i].report);
+      }
+      if (!identical) ++mismatches;
+      emit("plan_batch", 2000, threads, dt, serial_seconds, identical);
+    }
+  }
+
+  par::set_thread_override(0);
+  if (mismatches) {
+    std::fprintf(stderr, "E17 FAILED: %d thread-count mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  std::fprintf(stderr, "E17 ok: all workloads bit-identical across thread "
+               "counts\n");
+  return 0;
+}

@@ -5,18 +5,27 @@
 //   hj_embed torus 10 14               plan a wraparound mesh
 //   hj_embed contract 5 19 19          many-to-one into Q5
 //   hj_embed save out.hje 7 9          plan and serialize
-//   hj_embed verify out.hje            reload and re-verify a saved file
+//   hj_embed verify a.hje [b.hje ...]  reload and re-verify saved files
+//   hj_embed sweep 9                   Figure 2 coverage sweep for 2^n
 //   hj_embed sim 9 13                  stencil-exchange simulation
 //
 // The plan and sim commands accept --faults=<spec> (e.g.
 // --faults=node=5,link=3-7,p=0.01,seed=42): permanent faults route
 // planning through the degradation ladder (detour / remap / many-to-one),
 // and sim additionally injects the transient link faults.
+//
+// --threads=N (anywhere on the line) sets the worker count of the
+// parallel batch engine used by plan, verify and sweep; the default
+// comes from HJ_THREADS or the hardware. Results are identical at every
+// thread count.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/coverage.hpp"
 #include "core/io.hpp"
+#include "core/parallel.hpp"
 #include "core/planner.hpp"
 #include "hypersim/network.hpp"
 #include "manytoone/manytoone.hpp"
@@ -31,12 +40,16 @@ sim::FaultModel g_faults;
 bool g_have_faults = false;
 
 PlanResult plan_mesh(const Shape& shape) {
-  Planner planner;
-  planner.set_direct_provider(search::make_search_provider());
-  planner.set_degrade_provider(m2o::make_degrade_provider());
-  if (g_have_faults && !g_faults.permanent().empty())
+  if (g_have_faults && !g_faults.permanent().empty()) {
+    Planner planner;
+    planner.set_direct_provider(search::make_search_provider());
+    planner.set_degrade_provider(m2o::make_degrade_provider());
     return planner.plan_avoiding(shape, g_faults.permanent());
-  return planner.plan(shape);
+  }
+  // Healthy planning goes through the batch engine (canonical-shape
+  // dedup + shared factor cache), honouring --threads / HJ_THREADS.
+  return plan_batch({shape}, {},
+                    [] { return search::make_search_provider(); })[0];
 }
 
 Shape parse_shape(int argc, char** argv, int from) {
@@ -90,14 +103,41 @@ int cmd_save(int argc, char** argv) {
 }
 
 int cmd_verify(int argc, char** argv) {
-  require(argc >= 3, "usage: verify <file>");
-  auto emb = io::load(argv[2]);
-  VerifyReport r = verify(*emb);
-  std::printf("%s", detailed_summary(r, *emb).c_str());
-  if (!r.valid)
-    for (const std::string& e : r.errors)
-      std::printf("  error: %s\n", e.c_str());
-  return r.valid ? 0 : 1;
+  require(argc >= 3, "usage: verify <file> [file ...]");
+  std::vector<EmbeddingPtr> embs;
+  for (int i = 2; i < argc; ++i) embs.push_back(io::load(argv[i]));
+  const std::vector<VerifyReport> reports = verify_batch(embs);
+  bool all_valid = true;
+  for (std::size_t i = 0; i < embs.size(); ++i) {
+    const VerifyReport& r = reports[i];
+    if (embs.size() > 1) std::printf("%s: ", argv[2 + i]);
+    std::printf("%s", detailed_summary(r, *embs[i]).c_str());
+    if (!r.valid) {
+      all_valid = false;
+      for (const std::string& e : r.errors)
+        std::printf("  error: %s\n", e.c_str());
+    }
+  }
+  return all_valid ? 0 : 1;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  require(argc >= 3, "usage: sweep <n>");
+  const u32 n = static_cast<u32>(std::atoi(argv[2]));
+  const coverage::SweepCounts c = coverage::sweep_3d(n);
+  std::printf("coverage sweep, %u threads: all meshes with axes in "
+              "[1, 2^%u]\n", par::thread_count(), n);
+  std::printf("total %llu | uncovered %llu | by method 1..4: %llu %llu "
+              "%llu %llu\n", static_cast<unsigned long long>(c.total),
+              static_cast<unsigned long long>(c.by_method[0]),
+              static_cast<unsigned long long>(c.by_method[1]),
+              static_cast<unsigned long long>(c.by_method[2]),
+              static_cast<unsigned long long>(c.by_method[3]),
+              static_cast<unsigned long long>(c.by_method[4]));
+  std::printf("cumulative %%: S1=%.1f S2=%.1f S3=%.1f S4=%.1f\n",
+              c.cumulative_percent(1), c.cumulative_percent(2),
+              c.cumulative_percent(3), c.cumulative_percent(4));
+  return 0;
 }
 
 int cmd_sim(int argc, char** argv) {
@@ -130,29 +170,33 @@ int cmd_sim(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s plan|torus|contract|save|verify|sim ...\n",
+                 "usage: %s plan|torus|contract|save|verify|sweep|sim ...\n",
                  argv[0]);
     return 2;
   }
   try {
-    // Strip --faults=<spec> (anywhere on the line) before dispatch.
+    // Strip --faults=<spec> / --threads=N (anywhere on the line) before
+    // dispatch.
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       if (std::strncmp(argv[i], "--faults=", 9) == 0) {
         g_faults = sim::parse_fault_spec(argv[i] + 9);
         g_have_faults = true;
+      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else {
         argv[out++] = argv[i];
       }
     }
     argc = out;
-    require(argc >= 2, "expected a command before/after --faults");
+    require(argc >= 2, "expected a command before/after the flags");
     const std::string cmd = argv[1];
     if (cmd == "plan") return cmd_plan(argc, argv);
     if (cmd == "torus") return cmd_torus(argc, argv);
     if (cmd == "contract") return cmd_contract(argc, argv);
     if (cmd == "save") return cmd_save(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "sim") return cmd_sim(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/parallel.hpp"
+
 namespace hj::coverage {
 
 u32 gray_excess_log2(const Shape& s) {
@@ -105,34 +107,25 @@ SweepCounts sweep_3d(u32 n) {
   counts.total = side * side * side;
 
   // Enumerate sorted triples a <= b <= c and weight by the number of
-  // distinct permutations; every method is symmetric in the axes.
-  std::array<u64, 5> acc{};
-#if defined(_OPENMP)
-#pragma omp parallel
-  {
-    std::array<u64, 5> local{};
-#pragma omp for schedule(dynamic, 4)
-    for (i64 a = 1; a <= static_cast<i64>(side); ++a) {
-      for (u64 b = static_cast<u64>(a); b <= side; ++b) {
-        for (u64 c = b; c <= side; ++c) {
-          const u64 au = static_cast<u64>(a);
-          const u64 weight = (au == b && b == c) ? 1 : (au == b || b == c) ? 3 : 6;
-          local[first_method(au, b, c)] += weight;
-        }
-      }
-    }
-#pragma omp critical
-    for (u32 m = 0; m < 5; ++m) acc[m] += local[m];
-  }
-#else
-  for (u64 a = 1; a <= side; ++a)
-    for (u64 b = a; b <= side; ++b)
-      for (u64 c = b; c <= side; ++c) {
-        const u64 weight = (a == b && b == c) ? 1 : (a == b || b == c) ? 3 : 6;
-        acc[first_method(a, b, c)] += weight;
-      }
-#endif
-  counts.by_method = acc;
+  // distinct permutations; every method is symmetric in the axes. The
+  // outer l1 axis is chunked across the thread pool; per-chunk counts
+  // merge in axis order, so the result is identical at every HJ_THREADS.
+  // Grain 1 load-balances the triangular iteration space (small a values
+  // own far more (b, c) pairs than large ones).
+  counts.by_method = par::parallel_reduce(
+      1, side + 1, /*grain=*/1, std::array<u64, 5>{},
+      [side](u64 lo, u64 hi, std::array<u64, 5>& acc) {
+        for (u64 a = lo; a < hi; ++a)
+          for (u64 b = a; b <= side; ++b)
+            for (u64 c = b; c <= side; ++c) {
+              const u64 weight =
+                  (a == b && b == c) ? 1 : (a == b || b == c) ? 3 : 6;
+              acc[first_method(a, b, c)] += weight;
+            }
+      },
+      [](std::array<u64, 5>& into, std::array<u64, 5>&& from) {
+        for (u32 m = 0; m < 5; ++m) into[m] += from[m];
+      });
   return counts;
 }
 

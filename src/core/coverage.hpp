@@ -66,7 +66,9 @@ struct SweepCounts {
 };
 
 /// Run the Figure 2 sweep for side 2^n (n <= 9 reproduces the paper).
-/// Exploits permutation symmetry; parallelized with OpenMP when available.
+/// Exploits permutation symmetry; chunked across the par:: engine
+/// (HJ_THREADS / --threads), with counts bit-identical at every thread
+/// count.
 [[nodiscard]] SweepCounts sweep_3d(u32 n);
 
 // --- k-dimensional generalization (the paper's Summary conjecture). ---

@@ -1,0 +1,139 @@
+// hjembed: deterministic chunked parallelism for batch workloads.
+//
+// The engine is deliberately simple — no work stealing, no persistent
+// pool: a range [begin, end) is cut into fixed-size chunks of `grain`
+// iterations, workers claim chunks off a shared atomic counter, and
+// reductions merge per-chunk accumulators *in chunk order*. Because the
+// chunk decomposition and the merge order depend only on (range, grain)
+// — never on the worker count or on scheduling — every parallel_for /
+// parallel_reduce result is bit-identical to the serial run, including
+// floating-point sums. That determinism guarantee is what lets the
+// coverage sweep, batch verifier and batch planner run under any
+// HJ_THREADS setting and still reproduce the paper's counts exactly.
+//
+// Thread count resolution: set_thread_override() (the CLI --threads
+// flag) > the HJ_THREADS environment variable > hardware concurrency.
+// A count of 1 runs inline on the calling thread with no spawning.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace hj::par {
+
+namespace detail {
+
+inline std::atomic<u32>& override_slot() {
+  static std::atomic<u32> v{0};
+  return v;
+}
+
+}  // namespace detail
+
+/// Programmatic thread-count override (e.g. from --threads=N). Zero
+/// clears the override and defers to HJ_THREADS / the hardware.
+inline void set_thread_override(u32 n) {
+  detail::override_slot().store(n, std::memory_order_relaxed);
+}
+
+/// Worker threads a parallel call will use. Re-read on every call, so
+/// tests may flip HJ_THREADS between invocations.
+[[nodiscard]] inline u32 thread_count() {
+  if (const u32 o = detail::override_slot().load(std::memory_order_relaxed))
+    return o;
+  if (const char* env = std::getenv("HJ_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+      return static_cast<u32>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<u32>(hw) : 1;
+}
+
+namespace detail {
+
+/// Run `fn(chunk_index)` for every chunk in [0, chunks). Workers claim
+/// chunk indices from an atomic counter; the first exception is captured
+/// and rethrown on the calling thread after all workers join.
+template <class Fn>
+void run_chunks(u64 chunks, Fn&& fn) {
+  if (chunks == 0) return;
+  const u64 workers = std::min<u64>(thread_count(), chunks);
+  if (workers <= 1) {
+    for (u64 c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  std::atomic<u64> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto work = [&]() {
+    for (;;) {
+      const u64 c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(c);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (u64 t = 1; t < workers; ++t) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+[[nodiscard]] inline u64 chunk_count(u64 begin, u64 end, u64 grain) {
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace detail
+
+/// Apply `fn(lo, hi)` over disjoint sub-ranges covering [begin, end).
+/// Sub-ranges are `grain` iterations (last may be short); `fn` must only
+/// write state owned by its sub-range.
+template <class Fn>
+void parallel_for(u64 begin, u64 end, u64 grain, Fn&& fn) {
+  if (end <= begin) return;
+  grain = std::max<u64>(grain, 1);
+  detail::run_chunks(detail::chunk_count(begin, end, grain), [&](u64 c) {
+    const u64 lo = begin + c * grain;
+    fn(lo, std::min(end, lo + grain));
+  });
+}
+
+/// Chunked reduction: each chunk accumulates into its own copy of
+/// `identity` via `fn(lo, hi, acc)`, then the per-chunk accumulators are
+/// folded left-to-right in chunk order with `merge(into, from)`. The
+/// merge order is fixed by the chunk decomposition, so the result is
+/// identical for every thread count (floating point included).
+template <class T, class Fn, class Merge>
+[[nodiscard]] T parallel_reduce(u64 begin, u64 end, u64 grain,
+                                const T& identity, Fn&& fn, Merge&& merge) {
+  T out = identity;
+  if (end <= begin) return out;
+  grain = std::max<u64>(grain, 1);
+  const u64 chunks = detail::chunk_count(begin, end, grain);
+  std::vector<T> acc(chunks, identity);
+  detail::run_chunks(chunks, [&](u64 c) {
+    const u64 lo = begin + c * grain;
+    fn(lo, std::min(end, lo + grain), acc[c]);
+  });
+  for (u64 c = 0; c < chunks; ++c) merge(out, std::move(acc[c]));
+  return out;
+}
+
+}  // namespace hj::par

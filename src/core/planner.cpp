@@ -4,6 +4,7 @@
 
 #include "core/coverage.hpp"
 #include "core/direct.hpp"
+#include "core/parallel.hpp"
 #include "core/product.hpp"
 #include "core/router.hpp"
 
@@ -25,6 +26,43 @@ u64 product_of(const Shape& s) { return s.num_nodes(); }
 
 }  // namespace
 
+u32 ShardedPlanCache::shard_of(const std::string& key) {
+  return static_cast<u32>(std::hash<std::string>{}(key) % kShards);
+}
+
+std::optional<PlanCacheEntry> ShardedPlanCache::get(
+    const std::string& key) const {
+  const Shard& s = shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.map.find(key); it != s.map.end()) return it->second;
+  return std::nullopt;
+}
+
+void ShardedPlanCache::put(const std::string& key,
+                           const PlanCacheEntry& entry) {
+  Shard& s = shards_[shard_of(key)];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  // First writer wins; a racing writer computed the same value anyway
+  // (planning is deterministic), so dropping the duplicate is safe.
+  s.map.try_emplace(key, entry);
+}
+
+u64 ShardedPlanCache::size() const {
+  u64 n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+void ShardedPlanCache::clear() {
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
 Planner::Planner(PlannerOptions opts) : opts_(opts) {}
 
 void Planner::set_direct_provider(DirectProvider provider) {
@@ -35,6 +73,8 @@ void Planner::set_direct_provider(DirectProvider provider) {
 void Planner::set_degrade_provider(DegradeProvider provider) {
   degrade_provider_ = std::move(provider);
 }
+
+void Planner::set_shared_cache(ShardedPlanCache* cache) { shared_ = cache; }
 
 void Planner::consider(Entry& incumbent, Entry candidate) const {
   if (!candidate.emb) return;
@@ -56,6 +96,12 @@ Planner::Entry Planner::gray_entry(const Shape& shape) const {
 Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
   const std::string key = shape.to_string() + (may_extend ? "+" : "-");
   if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  if (shared_) {
+    if (auto hit = shared_->get(key)) {
+      memo_[key] = *hit;
+      return *hit;
+    }
+  }
   // Seed the memo with the Gray fallback to cut recursion cycles short.
   Entry incumbent = gray_entry(shape);
   memo_[key] = incumbent;
@@ -94,6 +140,7 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
   }
 
   memo_[key] = incumbent;
+  if (shared_) shared_->put(key, incumbent);
   return incumbent;
 }
 
@@ -323,6 +370,85 @@ PlanResult Planner::plan_avoiding(const Shape& shape, const FaultSet& faults) {
 bool Planner::achieves_minimal_dil2(const Shape& shape) {
   Entry e = best(shape, opts_.allow_extension);
   return e.cube == shape.minimal_cube_dim() && e.dil <= 2;
+}
+
+namespace {
+
+/// Axis map for RelabelEmbedding: base axis i (of the canonical sorted
+/// shape) -> the first not-yet-used target axis of equal length. The
+/// greedy match is total because target is a permutation of base.
+SmallVec<u32, 4> permutation_to(const Shape& base, const Shape& target) {
+  SmallVec<u32, 4> axis_of_base(base.dims(), 0);
+  SmallVec<u8, 4> used(target.dims(), 0);
+  for (u32 i = 0; i < base.dims(); ++i) {
+    for (u32 t = 0; t < target.dims(); ++t) {
+      if (!used[t] && target[t] == base[i]) {
+        axis_of_base[i] = t;
+        used[t] = 1;
+        break;
+      }
+    }
+  }
+  return axis_of_base;
+}
+
+}  // namespace
+
+std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
+                                   const PlannerOptions& opts,
+                                   const DirectProviderFactory& provider_factory,
+                                   ShardedPlanCache* cache) {
+  ShardedPlanCache local_cache;
+  if (!cache) cache = &local_cache;
+
+  // Deduplicate by canonical (sorted) shape: axis order only permutes
+  // the guest labelling, so each canonical class is planned once.
+  std::vector<Shape> uniq;
+  std::vector<std::size_t> canon_of(shapes.size());
+  {
+    std::unordered_map<std::string, std::size_t> slot;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      Shape canon = shapes[i].sorted();
+      const auto [it, fresh] = slot.try_emplace(canon.to_string(), uniq.size());
+      if (fresh) uniq.push_back(std::move(canon));
+      canon_of[i] = it->second;
+    }
+  }
+
+  // Plan the canonical shapes. Chunks larger than one shape let a worker
+  // planner reuse its local memo across neighbouring shapes; the shared
+  // cache covers reuse across chunks. Each canonical plan is a pure
+  // function of the shape, so scheduling cannot change any result.
+  std::vector<PlanResult> canon_plans(uniq.size());
+  const u64 plan_grain =
+      std::max<u64>(1, uniq.size() / (u64{par::thread_count()} * 4));
+  par::parallel_for(0, uniq.size(), plan_grain, [&](u64 lo, u64 hi) {
+    Planner planner(opts);
+    planner.set_shared_cache(cache);
+    if (provider_factory) planner.set_direct_provider(provider_factory());
+    for (u64 i = lo; i < hi; ++i) canon_plans[i] = planner.plan(uniq[i]);
+  });
+
+  // Relabel each canonical plan to the requested axis order. Permuted
+  // outputs are re-verified (the relabelled guest has its own edge set).
+  std::vector<PlanResult> out(shapes.size());
+  par::parallel_for(0, shapes.size(), /*grain=*/16, [&](u64 lo, u64 hi) {
+    for (u64 i = lo; i < hi; ++i) {
+      const PlanResult& canon = canon_plans[canon_of[i]];
+      if (shapes[i] == canon.embedding->guest().shape()) {
+        out[i] = canon;
+        continue;
+      }
+      const Shape& base_shape = canon.embedding->guest().shape();
+      auto relabeled = std::make_shared<RelabelEmbedding>(
+          canon.embedding, shapes[i], permutation_to(base_shape, shapes[i]));
+      out[i].report = verify(*relabeled);
+      out[i].embedding = std::move(relabeled);
+      out[i].plan =
+          "perm<" + shapes[i].to_string() + ">(" + canon.plan + ")";
+    }
+  });
+  return out;
 }
 
 }  // namespace hj

@@ -20,7 +20,9 @@
 // embedding always carries a freshly verified certificate.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -67,6 +69,43 @@ struct PlanResult {
   std::string plan;
 };
 
+/// A finished sub-plan, as memoized by the planner: the embedding plus
+/// the summary the search ranks on. Values are pure functions of the
+/// memo key (planning is deterministic), which is what makes sharing
+/// them across threads safe for reproducibility: a cache hit returns
+/// exactly what recomputation would.
+struct PlanCacheEntry {
+  EmbeddingPtr emb;
+  std::string desc;
+  u32 cube = 0;
+  u32 dil = 0;
+};
+
+/// Mutex-sharded plan memo shared by the worker planners of a batch, so
+/// a factor mesh appearing inside many product plans (3x3, 2x2x2, ...)
+/// is planned once per batch instead of once per worker. Keys are the
+/// planner's memo keys (shape string + extension flag); shard choice
+/// hashes the key, so unrelated shapes rarely contend.
+class ShardedPlanCache {
+ public:
+  [[nodiscard]] std::optional<PlanCacheEntry> get(
+      const std::string& key) const;
+  void put(const std::string& key, const PlanCacheEntry& entry);
+  /// Total entries across shards (diagnostic; takes all shard locks).
+  [[nodiscard]] u64 size() const;
+  void clear();
+
+ private:
+  static constexpr u32 kShards = 16;
+  [[nodiscard]] static u32 shard_of(const std::string& key);
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, PlanCacheEntry> map;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
 /// Plans embeddings of (non-wrapped) meshes into minimal-or-near-minimal
 /// cubes. Not thread-safe; create one per thread. Results are memoized
 /// across calls, so reusing one planner amortizes sweeps.
@@ -80,6 +119,11 @@ class Planner {
   /// Attach a many-to-one fallback source (m2o::make_degrade_provider());
   /// used by plan_avoiding when no one-to-one remap dodges the faults.
   void set_degrade_provider(DegradeProvider provider);
+
+  /// Attach a cross-planner memo (not owned; must outlive the planner).
+  /// Consulted after the local memo, published to after each sub-plan;
+  /// used by plan_batch to share factor plans between worker planners.
+  void set_shared_cache(ShardedPlanCache* cache);
 
   /// Best certified embedding of `shape`. Always succeeds (Gray is always
   /// available); inspect result.report for dilation / minimality.
@@ -105,12 +149,7 @@ class Planner {
   [[nodiscard]] bool achieves_minimal_dil2(const Shape& shape);
 
  private:
-  struct Entry {
-    EmbeddingPtr emb;
-    std::string desc;
-    u32 cube = 0;
-    u32 dil = 0;
-  };
+  using Entry = PlanCacheEntry;
 
   Entry best(const Shape& shape, bool may_extend);
   void consider(Entry& incumbent, Entry candidate) const;
@@ -122,7 +161,29 @@ class Planner {
   PlannerOptions opts_;
   DirectProvider provider_;
   DegradeProvider degrade_provider_;
+  ShardedPlanCache* shared_ = nullptr;
   std::unordered_map<std::string, Entry> memo_;
 };
+
+/// Factory handed to plan_batch instead of a DirectProvider because each
+/// worker planner needs its own provider instance (a provider closure is
+/// not required to be reentrant). Called once per worker.
+using DirectProviderFactory = std::function<DirectProvider()>;
+
+/// Plan a batch of shapes concurrently on the par:: engine (HJ_THREADS /
+/// --threads). Inputs are deduplicated by canonical (sorted) shape —
+/// meshes are isomorphic under axis permutation — so each canonical
+/// class is planned exactly once per batch, then relabeled to the
+/// requested axis order (plan string "perm<l1x...>(...)" when the order
+/// differs). Worker planners share a ShardedPlanCache, so factor meshes
+/// recurring across product plans are planned once. Results are in input
+/// order and bit-identical at every thread count.
+///
+/// `cache`, when given, persists the shared memo across batches (it is
+/// not cleared); pass nullptr for a per-call cache.
+[[nodiscard]] std::vector<PlanResult> plan_batch(
+    const std::vector<Shape>& shapes, const PlannerOptions& opts = {},
+    const DirectProviderFactory& provider_factory = nullptr,
+    ShardedPlanCache* cache = nullptr);
 
 }  // namespace hj

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
+
 namespace hj {
 namespace {
 
@@ -166,6 +168,33 @@ VerifyReport verify(const Embedding& emb) { return verify_impl(emb, nullptr); }
 
 VerifyReport verify(const Embedding& emb, const FaultSet& faults) {
   return verify_impl(emb, &faults);
+}
+
+namespace {
+
+std::vector<VerifyReport> verify_batch_impl(
+    const std::vector<EmbeddingPtr>& embs, const FaultSet* faults) {
+  for (std::size_t i = 0; i < embs.size(); ++i)
+    require(embs[i] != nullptr, "verify_batch: null embedding at index %zu",
+            i);
+  std::vector<VerifyReport> reports(embs.size());
+  // Each slot is owned by exactly one chunk; verify_impl only reads the
+  // (immutable) embedding, so no further synchronization is needed.
+  par::parallel_for(0, embs.size(), /*grain=*/1, [&](u64 lo, u64 hi) {
+    for (u64 i = lo; i < hi; ++i) reports[i] = verify_impl(*embs[i], faults);
+  });
+  return reports;
+}
+
+}  // namespace
+
+std::vector<VerifyReport> verify_batch(const std::vector<EmbeddingPtr>& embs) {
+  return verify_batch_impl(embs, nullptr);
+}
+
+std::vector<VerifyReport> verify_batch(const std::vector<EmbeddingPtr>& embs,
+                                       const FaultSet& faults) {
+  return verify_batch_impl(embs, &faults);
 }
 
 bool verify_certified(const Embedding& emb, u32 max_dil, VerifyReport* out) {

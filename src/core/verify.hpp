@@ -67,6 +67,16 @@ struct VerifyReport {
 [[nodiscard]] VerifyReport verify(const Embedding& emb,
                                   const FaultSet& faults);
 
+/// Certify a batch of embeddings concurrently on the par:: engine
+/// (HJ_THREADS / --threads); embeddings are immutable after
+/// construction, so sharing them across worker threads is safe. Returns
+/// one report per input, in input order, bit-identical to calling
+/// verify() serially. Null entries are rejected (std::invalid_argument).
+[[nodiscard]] std::vector<VerifyReport> verify_batch(
+    const std::vector<EmbeddingPtr>& embs);
+[[nodiscard]] std::vector<VerifyReport> verify_batch(
+    const std::vector<EmbeddingPtr>& embs, const FaultSet& faults);
+
 /// Convenience: verify and require structural validity, dilation <= max_dil
 /// and minimal expansion; used in tests and by the planner's certificates.
 [[nodiscard]] bool verify_certified(const Embedding& emb, u32 max_dil,
