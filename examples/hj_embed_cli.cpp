@@ -8,11 +8,18 @@
 //   hj_embed verify a.hje [b.hje ...]  reload and re-verify saved files
 //   hj_embed sweep 9                   Figure 2 coverage sweep for 2^n
 //   hj_embed sim 9 13                  stencil-exchange simulation
+//   hj_embed recover 3 3 7             live run with mid-run fault arrivals
 //
 // The plan and sim commands accept --faults=<spec> (e.g.
 // --faults=node=5,link=3-7,p=0.01,seed=42): permanent faults route
 // planning through the degradation ladder (detour / remap / many-to-one),
 // and sim additionally injects the transient link faults.
+//
+// The recover command replays a --fault-schedule=<file> of timed
+// permanent-fault arrivals (lines "<cycle> node <v>" / "<cycle> link <a>
+// <b>") against a live stencil run, repairing via the escalation ladder
+// (reroute / migrate / replan) and printing the RecoveryLog as JSON.
+// Without a schedule file it generates a small seeded one.
 //
 // --threads=N (anywhere on the line) sets the worker count of the
 // parallel batch engine used by plan, verify and sweep; the default
@@ -27,6 +34,7 @@
 #include "core/io.hpp"
 #include "core/parallel.hpp"
 #include "core/planner.hpp"
+#include "hypersim/live.hpp"
 #include "hypersim/network.hpp"
 #include "manytoone/manytoone.hpp"
 #include "search/provider.hpp"
@@ -38,6 +46,8 @@ namespace {
 
 sim::FaultModel g_faults;
 bool g_have_faults = false;
+sim::FaultSchedule g_schedule;
+bool g_have_schedule = false;
 
 PlanResult plan_mesh(const Shape& shape) {
   if (g_have_faults && !g_faults.permanent().empty()) {
@@ -165,13 +175,34 @@ int cmd_sim(int argc, char** argv) {
   return 0;
 }
 
+int cmd_recover(int argc, char** argv) {
+  PlanResult r = plan_mesh(parse_shape(argc, argv, 2));
+  sim::FaultSchedule schedule = g_schedule;
+  if (!g_have_schedule)
+    // No file given: a small seeded demo schedule (2 node + 1 link
+    // arrivals spaced across the run).
+    schedule = sim::FaultSchedule::random(r.embedding->host_dim(), 2, 1,
+                                         /*first_cycle=*/2, /*spacing=*/6,
+                                         /*seed=*/42);
+  sim::LiveOptions opts;
+  opts.sim.message_flits = 4;
+  if (g_have_faults) opts.sim.faults = &g_faults;
+  opts.recovery.direct_provider = search::make_search_provider();
+  opts.recovery.degrade_provider = m2o::make_degrade_provider();
+  const sim::LiveRunResult live =
+      sim::run_stencil_with_recovery(r.embedding, schedule, opts);
+  std::printf("%s", sim::recovery_log_json(live).c_str());
+  return live.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s plan|torus|contract|save|verify|sweep|sim ...\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s plan|torus|contract|save|verify|sweep|sim|recover ...\n",
+        argv[0]);
     return 2;
   }
   try {
@@ -182,6 +213,9 @@ int main(int argc, char** argv) {
       if (std::strncmp(argv[i], "--faults=", 9) == 0) {
         g_faults = sim::parse_fault_spec(argv[i] + 9);
         g_have_faults = true;
+      } else if (std::strncmp(argv[i], "--fault-schedule=", 17) == 0) {
+        g_schedule = sim::FaultSchedule::load(argv[i] + 17);
+        g_have_schedule = true;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else {
@@ -198,6 +232,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "sim") return cmd_sim(argc, argv);
+    if (cmd == "recover") return cmd_recover(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

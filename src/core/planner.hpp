@@ -86,6 +86,12 @@ struct PlanCacheEntry {
 /// is planned once per batch instead of once per worker. Keys are the
 /// planner's memo keys (shape string + extension flag); shard choice
 /// hashes the key, so unrelated shapes rarely contend.
+///
+/// Purity invariant: keys carry no fault information, so ONLY fault-free
+/// canonical plans may be stored. Planner::best() is the sole writer;
+/// plan_avoiding() and the fault-aware plan_batch overload treat their
+/// fault-constrained results as uncacheable (see the audit comment in
+/// planner.cpp).
 class ShardedPlanCache {
  public:
   [[nodiscard]] std::optional<PlanCacheEntry> get(
@@ -183,6 +189,22 @@ using DirectProviderFactory = std::function<DirectProvider()>;
 /// not cleared); pass nullptr for a per-call cache.
 [[nodiscard]] std::vector<PlanResult> plan_batch(
     const std::vector<Shape>& shapes, const PlannerOptions& opts = {},
+    const DirectProviderFactory& provider_factory = nullptr,
+    ShardedPlanCache* cache = nullptr);
+
+/// Fault-aware batch: `faults[i]` constrains shapes[i] (nullptr or an
+/// empty set means unconstrained). Fault-free entries go through the
+/// canonical-dedup path above and may be served from / inserted into the
+/// shared cache; fault-constrained entries are planned individually via
+/// plan_avoiding — they are excluded from canonical dedup (faults live
+/// in *host* space, so two axis-permuted shapes cannot share a faulted
+/// plan) and their results never touch the cache, which stays pure
+/// fault-free. Throws std::invalid_argument (after all workers finish)
+/// when some faulted entry has no avoiding plan.
+[[nodiscard]] std::vector<PlanResult> plan_batch(
+    const std::vector<Shape>& shapes,
+    const std::vector<const FaultSet*>& faults,
+    const PlannerOptions& opts = {},
     const DirectProviderFactory& provider_factory = nullptr,
     ShardedPlanCache* cache = nullptr);
 

@@ -1,0 +1,235 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/io.hpp"
+#include "core/product.hpp"
+#include "core/router.hpp"
+
+namespace hj::recovery {
+namespace {
+
+/// Materialize any embedding as a freely mutable ExplicitEmbedding (node
+/// map plus every non-default edge path) via the io round trip.
+std::shared_ptr<ExplicitEmbedding> materialize(const Embedding& emb) {
+  return io::from_text(io::to_text(emb));
+}
+
+/// All addresses at Hamming distance exactly `r` from `v` inside Q_n,
+/// ascending. C(n, r) candidates; r is the (small) migration radius.
+std::vector<CubeNode> candidates_at_radius(CubeNode v, u32 n, u32 r) {
+  std::vector<CubeNode> out;
+  std::vector<u32> bits(r);
+  for (u32 i = 0; i < r; ++i) bits[i] = i;
+  if (r == 0 || r > n) return out;
+  for (;;) {
+    CubeNode mask = 0;
+    for (u32 b : bits) mask |= u64{1} << b;
+    out.push_back(v ^ mask);
+    // Next r-combination of {0..n-1} in lexicographic order.
+    u32 i = r;
+    while (i-- > 0) {
+      if (bits[i] + (r - i) < n) {
+        ++bits[i];
+        for (u32 j = i + 1; j < r; ++j) bits[j] = bits[j - 1] + 1;
+        break;
+      }
+      if (i == 0) {
+        std::sort(out.begin(), out.end());
+        return out;
+      }
+    }
+  }
+}
+
+u64 count_moves(const Embedding& from, const Embedding& to, u64& cost) {
+  u64 moved = 0;
+  cost = 0;
+  for (MeshIndex i = 0; i < from.guest().num_nodes(); ++i) {
+    const CubeNode a = from.map(i);
+    const CubeNode b = to.map(i);
+    if (a == b) continue;
+    ++moved;
+    cost += hamming(a, b);
+  }
+  return moved;
+}
+
+}  // namespace
+
+const char* rung_name(Rung r) noexcept {
+  switch (r) {
+    case Rung::Reroute: return "reroute";
+    case Rung::Migrate: return "migrate";
+    case Rung::Replan: return "replan";
+    case Rung::None: break;
+  }
+  return "none";
+}
+
+RecoveryController::RecoveryController(Shape shape, RecoveryOptions opts)
+    : shape_(std::move(shape)), opts_(std::move(opts)) {
+  require(opts_.detour_budget >= 1,
+          "RecoveryController: detour_budget must be >= 1 (a zero budget "
+          "cannot route around anything)");
+  if (opts_.direct_provider)
+    planner_.set_direct_provider(opts_.direct_provider);
+  if (opts_.degrade_provider)
+    planner_.set_degrade_provider(opts_.degrade_provider);
+}
+
+void RecoveryController::set_shared_cache(ShardedPlanCache* cache) {
+  planner_.set_shared_cache(cache);
+}
+
+RepairResult RecoveryController::try_reroute(const Embedding& current,
+                                            const FaultSet& faults,
+                                            u32 dilation_budget) {
+  RepairResult out;
+  out.rung = Rung::Reroute;
+  auto repaired = materialize(current);
+  const DetourStats detour =
+      route_around_faults(*repaired, faults, opts_.detour_budget);
+  if (!detour.ok) return out;
+  VerifyReport rep = verify(*repaired, faults);
+  if (!rep.valid || !rep.fault_free || rep.dilation > dilation_budget)
+    return out;
+  out.ok = true;
+  out.embedding = std::move(repaired);
+  out.report = std::move(rep);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "reroute(%llu detours, +%u dil)",
+                static_cast<unsigned long long>(detour.detoured_edges),
+                detour.max_added_dilation);
+  out.desc = buf;
+  return out;
+}
+
+RepairResult RecoveryController::try_migrate(const Embedding& current,
+                                            const FaultSet& faults,
+                                            u32 dilation_budget,
+                                            u32 factor_inner_dim) {
+  RepairResult out;
+  out.rung = Rung::Migrate;
+  const u32 n = current.host_dim();
+  const u64 nodes = current.guest().num_nodes();
+
+  std::vector<CubeNode> node_map(nodes);
+  std::unordered_set<CubeNode> used;
+  std::vector<MeshIndex> displaced;
+  for (MeshIndex i = 0; i < nodes; ++i) {
+    node_map[i] = current.map(i);
+    used.insert(node_map[i]);
+    if (faults.node_failed(node_map[i])) displaced.push_back(i);
+  }
+  if (displaced.empty()) return out;  // nothing to migrate: a link fault
+
+  // Spare search, deterministic: radius ascending; within a radius,
+  // spares in the same factor subcube (identical outer bits — the repair
+  // stays inside one inner-factor copy of the product) before foreign
+  // ones; ties by address. Greedy in guest-node order.
+  const CubeNode outer_mask =
+      factor_inner_dim >= n ? 0 : ~((u64{1} << factor_inner_dim) - 1);
+  for (MeshIndex i : displaced) {
+    const CubeNode old = node_map[i];
+    CubeNode spare = old;
+    bool found = false;
+    for (u32 r = 1; r <= opts_.max_migration_radius && !found; ++r) {
+      const std::vector<CubeNode> ring = candidates_at_radius(old, n, r);
+      for (int same_factor = 1; same_factor >= 0 && !found; --same_factor) {
+        for (const CubeNode cand : ring) {
+          const bool same = (cand & outer_mask) == (old & outer_mask);
+          if (same != (same_factor == 1)) continue;
+          if (faults.node_failed(cand) || used.count(cand)) continue;
+          spare = cand;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return out;  // no healthy spare in radius: escalate
+    used.insert(spare);
+    node_map[i] = spare;
+    out.migration_cost += hamming(old, spare);
+    ++out.moved_nodes;
+  }
+
+  auto repaired = std::make_shared<ExplicitEmbedding>(
+      current.guest(), n, std::move(node_map));
+  route_minimize_congestion(*repaired);
+  const DetourStats detour =
+      route_around_faults(*repaired, faults, opts_.detour_budget);
+  RepairResult gave_up;
+  gave_up.rung = Rung::Migrate;
+  if (!detour.ok) return gave_up;
+  VerifyReport rep = verify(*repaired, faults);
+  if (!rep.valid || !rep.fault_free || rep.dilation > dilation_budget)
+    return gave_up;
+  out.ok = true;
+  out.embedding = std::move(repaired);
+  out.report = std::move(rep);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "migrate(%llu nodes, cost %llu)",
+                static_cast<unsigned long long>(out.moved_nodes),
+                static_cast<unsigned long long>(out.migration_cost));
+  out.desc = buf;
+  return out;
+}
+
+RepairResult RecoveryController::try_replan(const Embedding& current,
+                                           const FaultSet& faults) {
+  RepairResult out;
+  out.rung = Rung::Replan;
+  try {
+    PlanResult plan = planner_.plan_avoiding(shape_, faults);
+    out.moved_nodes = count_moves(current, *plan.embedding,
+                                  out.migration_cost);
+    out.ok = true;
+    out.embedding = std::move(plan.embedding);
+    out.report = std::move(plan.report);
+    out.desc = "replan(" + plan.plan + ")";
+  } catch (const std::invalid_argument&) {
+    // Every planner rung failed (e.g. no healthy subcube and no degrade
+    // provider): the machine is beyond this controller's repair.
+  }
+  return out;
+}
+
+RepairResult RecoveryController::repair(const Embedding& current,
+                                        const FaultSet& faults,
+                                        u32 baseline_dilation,
+                                        u32 factor_inner_dim) {
+  require(current.guest().shape() == shape_,
+          "RecoveryController::repair: embedding guest %s does not match "
+          "the controller shape %s",
+          current.guest().shape().to_string().c_str(),
+          shape_.to_string().c_str());
+  const u32 budget = baseline_dilation + opts_.max_dilation_increase;
+
+  // Rungs (a)/(b) patch an explicit placement; a many-to-one embedding
+  // (load factor > 1) has no such placement to patch — replan directly.
+  const bool local_repair_possible =
+      !opts_.force_replan && current.one_to_one();
+
+  if (local_repair_possible) {
+    // (a) costs zero migration: if it certifies, nothing can beat it.
+    RepairResult a = try_reroute(current, faults, budget);
+    if (a.ok) return a;
+
+    RepairResult b = try_migrate(current, faults, budget, factor_inner_dim);
+    RepairResult c = try_replan(current, faults);
+    if (b.ok && (!c.ok || b.migration_cost <= c.migration_cost)) return b;
+    return c;
+  }
+  return try_replan(current, faults);
+}
+
+u32 inner_factor_dim(const Embedding& emb) {
+  if (const auto* p = dynamic_cast<const MeshProductEmbedding*>(&emb))
+    return p->inner().host_dim();
+  return 0;
+}
+
+}  // namespace hj::recovery

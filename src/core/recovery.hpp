@@ -1,0 +1,113 @@
+// hjembed: the live-recovery controller — escalating repair of a running
+// embedding after mid-run fault arrivals.
+//
+// When a node or link dies under a live computation, tearing the whole
+// placement down and replanning is rarely the cheapest fix: the paper's
+// own structure (Theorem 3 products, the phi~ reflection, Section 7
+// contractions) makes *local* repair possible. The controller walks an
+// escalation ladder, cheapest rung first:
+//
+//   (a) Reroute  — keep every guest node where it is; detour only the
+//       edge paths that touch the new fault (route_around_faults).
+//       Migration cost 0; fails when a host *node* died under a guest
+//       node, or a detour would blow the dilation budget.
+//   (b) Migrate  — move only the guest nodes whose hosts died to healthy
+//       spare addresses within a bounded Hamming radius, preferring
+//       spares inside the same factor subcube of the product plan (same
+//       outer bits), then reroute. Cost = sum of Hamming distances moved.
+//   (c) Replan   — full Planner::plan_avoiding walk (detour / XOR remap /
+//       many-to-one contraction). Cost = every guest node's move distance
+//       under the fresh plan; always the most disruptive rung.
+//
+// Every rung's outcome is re-certified by verify() against the updated
+// FaultSet before it may be chosen; rungs (a) and (b) must additionally
+// stay within `baseline_dilation + max_dilation_increase` (a detour in a
+// cube adds an even number of hops, so an uncontrolled detour chain can
+// silently double dilation — the budget forces escalation instead). The
+// controller picks the cheapest certified rung by migration cost.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace hj::recovery {
+
+/// The ladder rung a repair ended on.
+enum class Rung : u8 { None, Reroute, Migrate, Replan };
+
+[[nodiscard]] const char* rung_name(Rung r) noexcept;
+
+struct RecoveryOptions {
+  /// Max added hops per detoured edge handed to route_around_faults.
+  u32 detour_budget = 2;
+  /// Rungs (a)/(b) certify only if post-repair dilation stays within
+  /// baseline_dilation + this; otherwise the controller escalates.
+  u32 max_dilation_increase = 1;
+  /// Hamming radius of the spare search in rung (b).
+  u32 max_migration_radius = 3;
+  /// Skip rungs (a)/(b) and always replan — the bench baseline.
+  bool force_replan = false;
+  /// Providers handed to the internal planner for rung (c).
+  DirectProvider direct_provider;
+  DegradeProvider degrade_provider;
+};
+
+struct RepairResult {
+  bool ok = false;
+  Rung rung = Rung::None;
+  /// The repaired, certified embedding (null when !ok).
+  EmbeddingPtr embedding;
+  /// verify() report of `embedding` against the fault set handed in.
+  VerifyReport report;
+  /// Guest nodes whose host address changed, and the migration-cost
+  /// model: sum over moved nodes of hamming(old address, new address).
+  u64 moved_nodes = 0;
+  u64 migration_cost = 0;
+  /// Human-readable repair derivation, e.g. "migrate(2 nodes, cost 3)".
+  std::string desc;
+};
+
+/// Repairs embeddings of one mesh shape. Not thread-safe (owns a
+/// Planner); create one per thread and share a ShardedPlanCache.
+class RecoveryController {
+ public:
+  explicit RecoveryController(Shape shape, RecoveryOptions opts = {});
+
+  /// Attach a cross-controller plan memo (not owned; must outlive the
+  /// controller). Only fault-free sub-plans are shared through it; see
+  /// the cache-purity audit in planner.cpp.
+  void set_shared_cache(ShardedPlanCache* cache);
+
+  /// Repair `current` so it avoids `faults`, walking the ladder.
+  /// `baseline_dilation` is the pre-fault certified dilation (the d in
+  /// the d+1 guarantee); `factor_inner_dim` is the host-bit width of the
+  /// product plan's inner factor (see inner_factor_dim()), 0 when
+  /// unknown — it only steers spare preference, never correctness.
+  /// Returns ok=false when no rung produces a certified embedding.
+  [[nodiscard]] RepairResult repair(const Embedding& current,
+                                    const FaultSet& faults,
+                                    u32 baseline_dilation,
+                                    u32 factor_inner_dim = 0);
+
+ private:
+  [[nodiscard]] RepairResult try_reroute(const Embedding& current,
+                                         const FaultSet& faults,
+                                         u32 dilation_budget);
+  [[nodiscard]] RepairResult try_migrate(const Embedding& current,
+                                         const FaultSet& faults,
+                                         u32 dilation_budget,
+                                         u32 factor_inner_dim);
+  [[nodiscard]] RepairResult try_replan(const Embedding& current,
+                                        const FaultSet& faults);
+
+  Shape shape_;
+  RecoveryOptions opts_;
+  Planner planner_;
+};
+
+/// Host-bit width of the inner factor when `emb` is a product plan
+/// (MeshProductEmbedding), else 0. Callers cache this before the first
+/// repair: repaired embeddings are materialized (ExplicitEmbedding) and
+/// no longer expose their factor structure.
+[[nodiscard]] u32 inner_factor_dim(const Embedding& emb);
+
+}  // namespace hj::recovery

@@ -1,6 +1,10 @@
 #include "hypersim/fault.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace hj::sim {
 namespace {
@@ -54,6 +58,182 @@ FaultModel parse_fault_spec(const std::string& spec) {
   }
   if (transient) model.set_transient(p, seed);
   return model;
+}
+
+// --- FaultSchedule ----------------------------------------------------------
+
+namespace {
+
+/// Canonical event order: cycle, then nodes before links, then address —
+/// a total order so schedules built in any insertion order compare equal.
+bool event_less(const FaultEvent& x, const FaultEvent& y) {
+  if (x.cycle != y.cycle) return x.cycle < y.cycle;
+  if (x.is_node != y.is_node) return x.is_node;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// splitmix64: the schedule generator must be a pure function of the seed.
+u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  char buf[96];
+  if (is_node)
+    std::snprintf(buf, sizeof buf, "node %llu",
+                  static_cast<unsigned long long>(a));
+  else
+    std::snprintf(buf, sizeof buf, "link %llu-%llu",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+  return buf;
+}
+
+void FaultSchedule::insert(FaultEvent e) {
+  const auto pos = std::upper_bound(events_.begin(), events_.end(), e,
+                                    event_less);
+  events_.insert(pos, e);
+}
+
+void FaultSchedule::add_node_failure(u64 cycle, CubeNode v) {
+  insert(FaultEvent{cycle, true, v, 0});
+}
+
+void FaultSchedule::add_link_failure(u64 cycle, CubeNode a, CubeNode b) {
+  require(Hypercube::adjacent(a, b),
+          "FaultSchedule: link %llu-%llu is not a cube link",
+          static_cast<unsigned long long>(a),
+          static_cast<unsigned long long>(b));
+  if (b < a) std::swap(a, b);
+  insert(FaultEvent{cycle, false, a, b});
+}
+
+void FaultSchedule::apply_until(u64 cycle, FaultSet& into,
+                                std::size_t& cursor) const {
+  while (cursor < events_.size() && events_[cursor].cycle <= cycle) {
+    const FaultEvent& e = events_[cursor++];
+    if (e.is_node)
+      into.fail_node(e.a);
+    else
+      into.fail_link(e.a, e.b);
+  }
+}
+
+std::optional<FaultEvent> FaultSchedule::diagnose(CubeNode u, CubeNode v,
+                                                  u64 up_to_cycle) const {
+  // Node deaths explain every incident link failure, so they win over a
+  // link event; among candidates the earliest arrival is the cause.
+  std::optional<FaultEvent> link_cause;
+  for (const FaultEvent& e : events_) {
+    if (e.cycle > up_to_cycle) break;
+    if (e.is_node) {
+      if (e.a == u || e.a == v) return e;
+    } else if (!link_cause &&
+               ((e.a == u && e.b == v) || (e.a == v && e.b == u))) {
+      link_cause = e;
+    }
+  }
+  return link_cause;
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& text) {
+  FaultSchedule out;
+  std::istringstream is(text);
+  std::string line;
+  u64 lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first[0] == '#') continue;  // blank or comment
+    char* end = nullptr;
+    const u64 cycle = std::strtoull(first.c_str(), &end, 10);
+    require(end != first.c_str() && *end == '\0',
+            "fault schedule line %llu: '%s' is not a cycle number",
+            static_cast<unsigned long long>(lineno), first.c_str());
+    std::string kind;
+    require(static_cast<bool>(ls >> kind),
+            "fault schedule line %llu: expected 'node <v>' or 'link <a> <b>' "
+            "after the cycle",
+            static_cast<unsigned long long>(lineno));
+    u64 a = 0, b = 0;
+    if (kind == "node") {
+      require(static_cast<bool>(ls >> a),
+              "fault schedule line %llu: 'node' wants one address",
+              static_cast<unsigned long long>(lineno));
+      out.add_node_failure(cycle, a);
+    } else if (kind == "link") {
+      require(static_cast<bool>(ls >> a >> b),
+              "fault schedule line %llu: 'link' wants two addresses",
+              static_cast<unsigned long long>(lineno));
+      require(Hypercube::adjacent(a, b),
+              "fault schedule line %llu: %llu-%llu is not a cube link "
+              "(addresses must differ in exactly one bit)",
+              static_cast<unsigned long long>(lineno),
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b));
+      out.add_link_failure(cycle, a, b);
+    } else {
+      require(false,
+              "fault schedule line %llu: unknown kind '%s' (want node|link)",
+              static_cast<unsigned long long>(lineno), kind.c_str());
+    }
+    std::string extra;
+    require(!(ls >> extra),
+            "fault schedule line %llu: trailing junk '%s'",
+            static_cast<unsigned long long>(lineno), extra.c_str());
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::load(const std::string& file) {
+  std::ifstream is(file);
+  require(is.good(), "fault schedule: cannot open '%s'", file.c_str());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str());
+}
+
+FaultSchedule FaultSchedule::random(u32 cube_dim, u32 node_events,
+                                    u32 link_events, u64 first_cycle,
+                                    u64 spacing, u64 seed) {
+  require(cube_dim >= 1 && cube_dim <= 30,
+          "FaultSchedule::random: cube dimension %u outside [1, 30]",
+          cube_dim);
+  FaultSchedule out;
+  const u64 mask = (u64{1} << cube_dim) - 1;
+  FaultSet taken;  // dedup: each event must name fresh hardware
+  u64 ctr = seed * 0x9e3779b97f4a7c15ull + 1;
+  u64 cycle = first_cycle;
+  for (u32 i = 0; i < node_events + link_events; ++i) {
+    const bool want_node = i < node_events;
+    for (;;) {
+      const u64 r = mix64(ctr++);
+      const CubeNode a = r & mask;
+      if (want_node) {
+        if (taken.node_failed(a)) continue;
+        taken.fail_node(a);
+        out.add_node_failure(cycle, a);
+      } else {
+        const CubeNode b = a ^ (u64{1} << (mix64(ctr++) % cube_dim));
+        if (taken.link_failed(a, b)) continue;
+        taken.fail_link(a, b);
+        out.add_link_failure(cycle, a, b);
+      }
+      break;
+    }
+    cycle += spacing;
+  }
+  return out;
 }
 
 }  // namespace hj::sim

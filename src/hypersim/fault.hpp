@@ -19,7 +19,9 @@
 // max_cycles cap.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/fault.hpp"
 
@@ -78,6 +80,75 @@ class FaultModel {
   double drop_p_ = 0.0;
   u64 seed_ = 0;
   u64 threshold_ = 0;
+};
+
+/// One timed permanent-fault arrival: at the start of `cycle`, the node
+/// `a` (is_node) or the undirected link `a`-`b` dies and stays dead.
+struct FaultEvent {
+  u64 cycle = 0;
+  bool is_node = true;
+  CubeNode a = 0;
+  CubeNode b = 0;  // link far end; unused for node events
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FaultEvent& x, const FaultEvent& y) noexcept {
+    return x.cycle == y.cycle && x.is_node == y.is_node && x.a == y.a &&
+           x.b == y.b;
+  }
+};
+
+/// A timed sequence of permanent fault arrivals applied *while a
+/// simulation is running* (the live-recovery scenario: iPSC-era cubes
+/// lost nodes and links mid-computation). Events are kept sorted by
+/// (cycle, node-before-link, address), so a schedule is a canonical,
+/// deterministic object: the same schedule replayed against the same
+/// seed yields the identical simulation, detection trace and RecoveryLog.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add_node_failure(u64 cycle, CubeNode v);
+  void add_link_failure(u64 cycle, CubeNode a, CubeNode b);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Add every event with event.cycle <= cycle to `into`, advancing
+  /// `cursor` (an index into events()). Call with a monotonically
+  /// non-decreasing cycle and the same cursor to replay incrementally.
+  void apply_until(u64 cycle, FaultSet& into, std::size_t& cursor) const;
+
+  /// Ground-truth diagnosis of a suspected link: the earliest event with
+  /// cycle <= `up_to_cycle` that explains a failing `u`->`v` transmission
+  /// (a dead endpoint node, or the dead link itself). Empty when no
+  /// arrival explains it — the suspect was a persistent transient.
+  [[nodiscard]] std::optional<FaultEvent> diagnose(CubeNode u, CubeNode v,
+                                                   u64 up_to_cycle) const;
+
+  /// Parse the `--fault-schedule` file format: one arrival per line,
+  ///   <cycle> node <v>
+  ///   <cycle> link <a> <b>
+  /// Blank lines and lines starting with '#' are ignored. Throws
+  /// std::invalid_argument naming the offending line on malformed input.
+  [[nodiscard]] static FaultSchedule parse(const std::string& text);
+  [[nodiscard]] static FaultSchedule load(const std::string& file);
+
+  /// Seeded-deterministic random schedule inside Q_{cube_dim}:
+  /// `node_events` + `link_events` distinct arrivals at cycles
+  /// first_cycle, first_cycle + spacing, ... (nodes and links
+  /// interleaved). Pure function of its arguments.
+  [[nodiscard]] static FaultSchedule random(u32 cube_dim, u32 node_events,
+                                            u32 link_events, u64 first_cycle,
+                                            u64 spacing, u64 seed);
+
+ private:
+  void insert(FaultEvent e);
+
+  std::vector<FaultEvent> events_;  // sorted; see class comment
 };
 
 /// Parse a fault specification, e.g. "node=5,link=3-7,p=0.01,seed=42":

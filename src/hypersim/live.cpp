@@ -1,0 +1,231 @@
+#include "hypersim/live.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hj::sim {
+namespace {
+
+/// Directed logical message: retransmitted across epochs until delivered.
+struct LogicalMessage {
+  MeshIndex from = 0;
+  MeshIndex to = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
+                                        const FaultSchedule& schedule,
+                                        const LiveOptions& opts) {
+  require(base != nullptr, "run_stencil_with_recovery: null embedding");
+  LiveRunResult result;
+  result.embedding = base;
+
+  // The pre-fault certificate fixes the d of the d+1 repair guarantee,
+  // and the product structure (lost once a repair materializes the
+  // embedding) is cached up front for spare-search preference.
+  const u32 baseline_dilation = verify(*base).dilation;
+  const u32 factor_dim = recovery::inner_factor_dim(*base);
+  recovery::RecoveryController controller(base->guest().shape(),
+                                          opts.recovery);
+
+  // Logical traffic: every guest edge, both directions.
+  std::vector<LogicalMessage> traffic;
+  base->guest().for_each_edge([&](const MeshEdge& e) {
+    traffic.push_back(LogicalMessage{e.a, e.b});
+    traffic.push_back(LogicalMessage{e.b, e.a});
+  });
+  result.messages = traffic.size();
+  std::vector<u8> delivered(traffic.size(), 0);
+
+  // Cumulative known faults live in a copy of the caller's fault model,
+  // so the transient layer (if any) keeps operating across epochs.
+  FaultModel faults = opts.sim.faults ? *opts.sim.faults : FaultModel{};
+  SimConfig cfg = opts.sim;
+  cfg.faults = &faults;
+
+  u64 now = 0;
+  bool truncated = false;
+  while (result.epochs < opts.max_epochs) {
+    const Embedding& emb = *result.embedding;
+    cfg.cube_dim = emb.host_dim();
+    CubeNetwork net(cfg);
+    // Queue this epoch's retransmissions on the current embedding.
+    // Contracted (same-processor) routes deliver without the network.
+    std::vector<std::size_t> queued;  // sim message id -> traffic index
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      if (delivered[i]) continue;
+      CubePath route = neighbor_route(emb, traffic[i].from, traffic[i].to);
+      if (route.size() < 2) {
+        delivered[i] = 1;
+        ++result.delivered;
+        continue;
+      }
+      (void)net.add_message(std::move(route));
+      queued.push_back(i);
+    }
+    if (queued.empty()) break;  // everything delivered
+
+    const LiveEpochResult epoch = net.run_live(now, schedule);
+    now = epoch.end_cycle;
+    result.dropped_flits += epoch.dropped_flits;
+    for (std::size_t m = 0; m < queued.size(); ++m) {
+      if (epoch.message_delivered[m]) {
+        delivered[queued[m]] = 1;
+        ++result.delivered;
+      }
+    }
+    if (epoch.truncated) {
+      truncated = true;
+      break;
+    }
+    if (!epoch.detected) {
+      if (epoch.drained()) break;
+      ++result.epochs;  // retry-exhausted transients: plain retransmit
+      continue;
+    }
+
+    // Diagnose the suspects against the ground-truth schedule; an
+    // unexplained suspect is a persistent transient and is quarantined
+    // as a permanent link (conservative: we only ever route *around* a
+    // healthy-but-unlucky link, never through a dead one).
+    RecoveryEpochLog entry;
+    entry.detect_cycle = epoch.detections.front().cycle;
+    entry.arrival_cycle = entry.detect_cycle;
+    std::vector<std::string> causes;  // deduped, in detection order
+    for (const DetectionEvent& det : epoch.detections) {
+      auto diag = schedule.diagnose(det.from, det.to, epoch.end_cycle);
+      std::string cause;
+      if (diag) {
+        if (diag->is_node)
+          faults.permanent().fail_node(diag->a);
+        else
+          faults.permanent().fail_link(diag->a, diag->b);
+        entry.arrival_cycle = std::min(entry.arrival_cycle, diag->cycle);
+        cause = diag->to_string();
+      } else {
+        faults.permanent().fail_link(det.from, det.to);
+        cause = "quarantine " + std::to_string(det.from) + "-" +
+                std::to_string(det.to);
+      }
+      // Several detections often share one cause (every link into a dead
+      // node trips its own counter); log each cause once.
+      if (std::find(causes.begin(), causes.end(), cause) == causes.end())
+        causes.push_back(std::move(cause));
+    }
+    for (const std::string& cause : causes) {
+      if (!entry.fault.empty()) entry.fault += ';';
+      entry.fault += cause;
+    }
+    entry.detect_latency = entry.detect_cycle - entry.arrival_cycle;
+
+    recovery::RepairResult repair = controller.repair(
+        *result.embedding, faults.permanent(), baseline_dilation,
+        factor_dim);
+    if (!repair.ok) {
+      truncated = true;  // unrepairable: account the rest as failed
+      break;
+    }
+    entry.rung = recovery::rung_name(repair.rung);
+    entry.moved_nodes = repair.moved_nodes;
+    entry.migration_cost = repair.migration_cost;
+    entry.dilation = repair.report.dilation;
+    entry.congestion = repair.report.congestion;
+    entry.plan = repair.desc;
+    result.log.push_back(std::move(entry));
+    result.embedding = repair.embedding;
+    ++result.epochs;
+  }
+
+  // Audit sweep: an arrival no remaining traffic crossed is invisible to
+  // detection, but the final embedding must still avoid it. Certify
+  // against the ground truth of everything that arrived, repairing once
+  // more when the certificate fails.
+  FaultSet truth = opts.sim.faults ? opts.sim.faults->permanent()
+                                   : FaultSet{};
+  std::size_t cursor = 0;
+  schedule.apply_until(now, truth, cursor);
+  result.report = verify(*result.embedding, truth);
+  if (!truncated && (!result.report.fault_free || !result.report.valid)) {
+    recovery::RepairResult repair = controller.repair(
+        *result.embedding, truth, baseline_dilation, factor_dim);
+    if (repair.ok) {
+      RecoveryEpochLog entry;
+      entry.arrival_cycle = now;
+      entry.detect_cycle = now;
+      entry.fault = "audit";
+      entry.rung = recovery::rung_name(repair.rung);
+      entry.moved_nodes = repair.moved_nodes;
+      entry.migration_cost = repair.migration_cost;
+      entry.dilation = repair.report.dilation;
+      entry.congestion = repair.report.congestion;
+      entry.plan = repair.desc;
+      result.log.push_back(std::move(entry));
+      result.embedding = repair.embedding;
+      ++result.epochs;
+      result.report = verify(*result.embedding, truth);
+    }
+  }
+  for (const FaultEvent& e : schedule.events())
+    if (e.cycle <= now) {
+      if (e.is_node)
+        faults.permanent().fail_node(e.a);
+      else
+        faults.permanent().fail_link(e.a, e.b);
+    }
+  result.faults = faults.permanent();
+
+  result.cycles = now;
+  result.failed = result.messages - result.delivered;
+  result.ok = !truncated && result.failed == 0 && result.report.valid &&
+              result.report.fault_free;
+  return result;
+}
+
+std::string recovery_log_json(const LiveRunResult& r) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n"
+     << "  \"cycles\": " << r.cycles << ",\n"
+     << "  \"messages\": " << r.messages << ",\n"
+     << "  \"delivered\": " << r.delivered << ",\n"
+     << "  \"failed\": " << r.failed << ",\n"
+     << "  \"dropped_flits\": " << r.dropped_flits << ",\n"
+     << "  \"epochs\": " << r.epochs << ",\n"
+     << "  \"final\": {\"valid\": " << (r.report.valid ? "true" : "false")
+     << ", \"fault_free\": " << (r.report.fault_free ? "true" : "false")
+     << ", \"dilation\": " << r.report.dilation
+     << ", \"congestion\": " << r.report.congestion
+     << ", \"load_factor\": " << r.report.load_factor
+     << ", \"failed_nodes\": " << r.faults.num_failed_nodes()
+     << ", \"failed_links\": " << r.faults.num_failed_links() << "},\n"
+     << "  \"recoveries\": [";
+  for (std::size_t i = 0; i < r.log.size(); ++i) {
+    const RecoveryEpochLog& e = r.log[i];
+    os << (i ? ",\n    {" : "\n    {")
+       << "\"arrival_cycle\": " << e.arrival_cycle
+       << ", \"detect_cycle\": " << e.detect_cycle
+       << ", \"detect_latency\": " << e.detect_latency
+       << ", \"fault\": \"" << json_escape(e.fault) << "\""
+       << ", \"rung\": \"" << json_escape(e.rung) << "\""
+       << ", \"moved_nodes\": " << e.moved_nodes
+       << ", \"migration_cost\": " << e.migration_cost
+       << ", \"dilation\": " << e.dilation
+       << ", \"congestion\": " << e.congestion
+       << ", \"plan\": \"" << json_escape(e.plan) << "\"}";
+  }
+  os << (r.log.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+}  // namespace hj::sim

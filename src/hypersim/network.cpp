@@ -21,6 +21,17 @@ CubeNetwork::CubeNetwork(SimConfig config) : config_(config) {
   require(config_.cube_dim <= 30, "CubeNetwork: cube too large to simulate");
   require(config_.link_bandwidth >= 1, "CubeNetwork: bandwidth must be >= 1");
   require(config_.message_flits >= 1, "CubeNetwork: empty messages");
+  require(config_.detect_threshold >= 1,
+          "CubeNetwork: detect_threshold must be >= 1 (a link cannot be "
+          "suspected after zero failures); the default is 4");
+  require(config_.detect_threshold <= config_.max_retries,
+          "CubeNetwork: detect_threshold (%u) must not exceed max_retries "
+          "(%u), or messages exhaust their retry budget before the "
+          "detection layer can fire",
+          config_.detect_threshold, config_.max_retries);
+  require(config_.watchdog_cycles >= 1,
+          "CubeNetwork: watchdog_cycles must be >= 1 (a zero-cycle watchdog "
+          "would flag every message instantly); the default is 4096");
 }
 
 u64 CubeNetwork::add_message(CubePath route, i64 after) {
@@ -205,6 +216,162 @@ SimResult CubeNetwork::run() {
                 ? 0.0
                 : static_cast<double>(result.cycles) /
                       static_cast<double>(std::max<u64>(1, result.lower_bound()));
+  routes_.clear();
+  deps_.clear();
+  return result;
+}
+
+LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
+                                      const FaultSchedule& schedule) {
+  LiveEpochResult result;
+  result.messages = routes_.size();
+  result.message_delivered.assign(routes_.size(), 0);
+
+  const u32 dim = std::max(config_.cube_dim, 1u);
+  const u32 flits = config_.message_flits;
+  const FaultModel* faults = config_.faults;
+  const bool transient = faults && faults->has_transient();
+
+  u32 max_route_len = 0;
+  for (const CubePath& r : routes_)
+    max_route_len =
+        std::max<u32>(max_route_len, static_cast<u32>(r.size() - 1));
+  require(config_.watchdog_cycles >= u64{max_route_len} * flits,
+          "run_live: watchdog_cycles (%llu) is below the longest route's "
+          "service time (%u hops x %u flits = %llu cycles); a healthy "
+          "message would be flagged as stuck — raise watchdog_cycles",
+          static_cast<unsigned long long>(config_.watchdog_cycles),
+          max_route_len, flits,
+          static_cast<unsigned long long>(u64{max_route_len} * flits));
+
+  // Ground-truth hardware state: the faults known before the run plus
+  // every scheduled arrival whose cycle has passed. Nothing is pre-failed
+  // from it — a message crossing an arrived fault simply keeps failing its
+  // transmissions until the detection layer notices.
+  FaultSet live = faults ? faults->permanent() : FaultSet{};
+  std::size_t sched_cursor = 0;
+  schedule.apply_until(start_cycle, live, sched_cursor);
+
+  const bool cut_through = config_.switching == Switching::CutThrough;
+  std::vector<std::vector<u32>> crossed(routes_.size());
+  std::vector<std::vector<u32>> children(routes_.size());
+  std::vector<bool> failed(routes_.size(), false);
+  std::vector<u32> retries(routes_.size(), 0);
+  // Watchdog state: local cycle of each message's last flit progress.
+  std::vector<u64> last_progress(routes_.size(), 0);
+  std::vector<u32> active;
+  std::vector<u32> roots;
+  for (u32 m = 0; m < routes_.size(); ++m) {
+    crossed[m].assign(routes_[m].size() - 1, 0);
+    if (deps_[m] >= 0)
+      children[static_cast<u32>(deps_[m])].push_back(m);
+    else
+      roots.push_back(m);
+  }
+  const auto fail = [&](u32 m, const auto& self) -> void {
+    if (failed[m]) return;
+    failed[m] = true;
+    for (u32 c : children[m]) self(c, self);
+  };
+  const auto release = [&](u32 m, std::vector<u32>& out,
+                           const auto& self) -> void {
+    if (failed[m]) return;
+    if (!crossed[m].empty()) {
+      out.push_back(m);
+      return;
+    }
+    result.message_delivered[m] = 1;
+    ++result.delivered;
+    for (u32 c : children[m]) self(c, out, self);
+  };
+  for (u32 m : roots) release(m, active, release);
+
+  // Detection layer: consecutive failed transmissions per directed link,
+  // reset by any success on that link. A dead link never succeeds, so its
+  // counter climbs monotonically to detect_threshold within a few cycles
+  // of the first attempt.
+  std::unordered_map<u64, u32> consec_failures;
+  std::unordered_map<u64, bool> suspected;
+
+  std::unordered_map<u64, u32> used_this_cycle;
+  u64 executed = 0;
+  while (!active.empty() && executed < config_.max_cycles) {
+    ++executed;
+    const u64 now = start_cycle + executed;
+    schedule.apply_until(now, live, sched_cursor);
+    used_this_cycle.clear();
+    std::vector<u32> still_active;
+    still_active.reserve(active.size());
+    for (u32 m : active) {
+      if (failed[m]) continue;
+      const CubePath& r = routes_[m];
+      auto& c = crossed[m];
+      const u32 hops = static_cast<u32>(c.size());
+      bool progressed = false;
+      for (u32 h = hops; h-- > 0;) {
+        const u32 upstream = h == 0 ? flits : c[h - 1];
+        if (c[h] >= flits || c[h] >= upstream) continue;
+        if (!cut_through && upstream < flits) continue;
+        const u64 link = link_id(r[h], r[h + 1], dim);
+        u32& used = used_this_cycle[link];
+        if (used >= config_.link_bandwidth) continue;
+        ++used;  // a failed transmission still occupies the link slot
+        const bool dead = live.link_failed(r[h], r[h + 1]);
+        if (dead || (transient && faults->drops(now, link))) {
+          ++result.dropped_flits;
+          u32& streak = consec_failures[link];
+          if (++streak == config_.detect_threshold && !suspected[link]) {
+            suspected[link] = true;
+            result.detections.push_back(
+                DetectionEvent{now, r[h], r[h + 1], streak, false});
+          }
+          if (++retries[m] > config_.max_retries) {
+            fail(m, fail);
+            break;
+          }
+          continue;
+        }
+        consec_failures[link] = 0;
+        ++c[h];
+        progressed = true;
+      }
+      if (failed[m]) continue;
+      if (progressed) last_progress[m] = executed;
+      if (c[hops - 1] < flits) {
+        // Watchdog: a message with no flit progress for watchdog_cycles is
+        // stuck behind something the failure counters did not catch (e.g.
+        // a persistently unlucky transient link whose streaks keep being
+        // broken by other traffic). Promote its stuck hop to suspected.
+        if (executed - last_progress[m] >= config_.watchdog_cycles) {
+          u32 stuck = 0;
+          while (stuck + 1 < hops && c[stuck] >= flits) ++stuck;
+          const u64 link = link_id(r[stuck], r[stuck + 1], dim);
+          if (!suspected[link]) {
+            suspected[link] = true;
+            result.detections.push_back(DetectionEvent{
+                now, r[stuck], r[stuck + 1], consec_failures[link], true});
+          }
+          last_progress[m] = executed;  // one promotion per stall period
+        }
+        still_active.push_back(m);
+      } else {
+        result.message_delivered[m] = 1;
+        ++result.delivered;
+        for (u32 child : children[m])
+          release(child, still_active, release);
+      }
+    }
+    active.swap(still_active);
+    // Pause at the end of the first suspicious cycle: every message got
+    // its arbitration turn this cycle, so the pause point is independent
+    // of which message tripped the detector first.
+    if (!result.detections.empty()) break;
+  }
+
+  result.end_cycle = start_cycle + executed;
+  result.detected = !result.detections.empty();
+  result.truncated =
+      !result.detected && !active.empty() && executed >= config_.max_cycles;
   routes_.clear();
   deps_.clear();
   return result;

@@ -49,6 +49,15 @@ struct SimConfig {
   /// Bound on transient-fault retries per message before the message is
   /// declared failed (SimResult::failed_messages, completed = false).
   u32 max_retries = 64;
+  /// run_live only: consecutive failed transmissions on one directed link
+  /// before the detection layer flags it suspected-permanent. Must stay
+  /// below max_retries or messages die before detection can fire.
+  u32 detect_threshold = 4;
+  /// run_live only: cycles a message may go without any flit progress
+  /// before the watchdog promotes its stuck hop to suspected-permanent.
+  /// Must cover the longest service time of a queued route (validated
+  /// against max_route_len * message_flits when run_live starts).
+  u64 watchdog_cycles = 4096;
 };
 
 struct SimResult {
@@ -95,6 +104,50 @@ struct SimResult {
   double slowdown_vs_bound = 0.0;
 };
 
+/// One suspicion raised by run_live's detection layer: the directed link
+/// `from`->`to` stopped delivering. Raised either by the consecutive-
+/// failure counter crossing SimConfig::detect_threshold, or by the
+/// delivery watchdog (a message made no progress for watchdog_cycles —
+/// the path persistent transients take to suspected-permanent).
+struct DetectionEvent {
+  u64 cycle = 0;  // absolute cycle the suspicion fired
+  CubeNode from = 0;
+  CubeNode to = 0;
+  u32 consecutive_failures = 0;
+  bool by_watchdog = false;
+
+  friend bool operator==(const DetectionEvent& x,
+                         const DetectionEvent& y) noexcept {
+    return x.cycle == y.cycle && x.from == y.from && x.to == y.to &&
+           x.consecutive_failures == y.consecutive_failures &&
+           x.by_watchdog == y.by_watchdog;
+  }
+};
+
+/// Outcome of one run_live epoch: the simulator either drained every
+/// queued message, or paused at the end of the first cycle in which the
+/// detection layer raised suspicions (so a recovery controller can repair
+/// the embedding and resume), or hit the max_cycles safety cap.
+struct LiveEpochResult {
+  /// Absolute cycle at which the epoch stopped (start_cycle + executed).
+  u64 end_cycle = 0;
+  u64 messages = 0;
+  u64 delivered = 0;
+  u64 dropped_flits = 0;
+  /// True iff the epoch paused on a detection (detections non-empty).
+  bool detected = false;
+  /// True iff max_cycles elapsed with traffic still pending.
+  bool truncated = false;
+  std::vector<DetectionEvent> detections;
+  /// Per queued message id: fully delivered this epoch? Undelivered
+  /// messages are the caller's to retransmit on the repaired embedding.
+  std::vector<u8> message_delivered;
+
+  [[nodiscard]] bool drained() const noexcept {
+    return delivered == messages;
+  }
+};
+
 /// The simulator. Add routed messages, then run() to completion.
 class CubeNetwork {
  public:
@@ -121,6 +174,17 @@ class CubeNetwork {
 
   /// Run to completion (or max_cycles) and reset the message list.
   [[nodiscard]] SimResult run();
+
+  /// Run one *live* epoch starting at absolute cycle `start_cycle`, with
+  /// the schedule's permanent faults arriving mid-run (every event with
+  /// cycle <= the current absolute cycle is in effect; nothing is
+  /// pre-failed — faults must be *discovered* by the detection layer).
+  /// Stops at the end of the first cycle that raises a detection, when
+  /// all traffic drains, or after max_cycles. Resets the message list;
+  /// the caller requeues undelivered messages (on a repaired embedding)
+  /// and calls run_live again with the returned end_cycle to resume.
+  [[nodiscard]] LiveEpochResult run_live(u64 start_cycle,
+                                         const FaultSchedule& schedule);
 
   [[nodiscard]] u64 pending() const noexcept { return routes_.size(); }
 

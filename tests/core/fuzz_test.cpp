@@ -7,6 +7,7 @@
 #include "core/io.hpp"
 #include "core/planner.hpp"
 #include "core/verify.hpp"
+#include "hypersim/fault.hpp"
 #include "torus/torus.hpp"
 
 namespace hj {
@@ -221,6 +222,53 @@ TEST(InversePlacement, RoundTrips) {
     EXPECT_EQ(r.embedding->map(static_cast<MeshIndex>(inv[v])), v);
   }
   EXPECT_EQ(used, r.embedding->guest().num_nodes());
+}
+
+TEST(FaultScheduleFuzz, MalformedInputsAreRejectedWithContext) {
+  // Every malformed line must throw (never crash or silently skip), and
+  // the message must carry the offending line number for the CLI user.
+  const char* bad[] = {
+      "x node 3\n",           // non-numeric cycle
+      "5\n",                  // missing kind
+      "5 nodule 3\n",         // unknown kind
+      "5 node\n",             // missing address
+      "5 link 3\n",           // missing second address
+      "5 link 3 4\n",         // addresses are not cube-adjacent
+      "5 node 3 junk\n",      // trailing junk
+      "1 node 1\nbroken\n",   // good line followed by bad one
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)sim::FaultSchedule::parse(text),
+                 std::invalid_argument)
+        << text;
+    try {
+      (void)sim::FaultSchedule::parse(text);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << text;
+    }
+  }
+  EXPECT_THROW((void)sim::FaultSchedule::load("/nonexistent/sched.txt"),
+               std::invalid_argument);
+}
+
+TEST(FaultScheduleFuzz, RandomTextNeverCrashesTheParser) {
+  std::mt19937_64 rng(4242);
+  const char alphabet[] = "0123456789 nodelink#\n\t-";
+  for (int t = 0; t < 200; ++t) {
+    std::string text;
+    const std::size_t len = rng() % 64;
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[rng() % (sizeof(alphabet) - 1)];
+    try {
+      const sim::FaultSchedule s = sim::FaultSchedule::parse(text);
+      // Anything accepted must be canonically ordered.
+      for (std::size_t i = 1; i < s.events().size(); ++i)
+        EXPECT_LE(s.events()[i - 1].cycle, s.events()[i].cycle);
+    } catch (const std::invalid_argument&) {
+      // Rejection is fine; crashing is not.
+    }
+  }
 }
 
 TEST(DetailedSummary, ContainsHistograms) {

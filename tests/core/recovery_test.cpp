@@ -1,0 +1,318 @@
+// Tests for the live-recovery controller: the reroute / migrate / replan
+// escalation ladder, its migration-cost model, factor-subcube spare
+// preference, and the fault-aware plan_batch cache-purity regression.
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/io.hpp"
+#include "core/product.hpp"
+#include "core/router.hpp"
+#include "manytoone/manytoone.hpp"
+#include "search/provider.hpp"
+
+namespace hj::recovery {
+namespace {
+
+RecoveryOptions full_options() {
+  RecoveryOptions opts;
+  opts.direct_provider = search::make_search_provider();
+  opts.degrade_provider = m2o::make_degrade_provider();
+  return opts;
+}
+
+PlanResult plan_shape(const Shape& shape) {
+  Planner planner;
+  planner.set_direct_provider(search::make_search_provider());
+  return planner.plan(shape);
+}
+
+// --- Rung (a): reroute ------------------------------------------------------
+
+TEST(Recovery, LinkFaultRepairsByReroute) {
+  const PlanResult base = plan_shape(Shape{4, 4, 4});
+  ASSERT_TRUE(base.report.valid);
+  // 4x4x4 is a subcube power: dilation 1. A detour adds an even number of
+  // hops (hypercube path parity), so the faulted edge lands at 3 — allow
+  // +2 here so rung (a) is reachable at all; the default +1 budget would
+  // correctly escalate a dilation-1 embedding to replan.
+  RecoveryOptions opts = full_options();
+  opts.max_dilation_increase = 2;
+
+  // Kill a link under some routed edge; both endpoints stay healthy.
+  FaultSet faults;
+  bool armed = false;
+  base.embedding->guest().for_each_edge([&](const MeshEdge& e) {
+    if (armed) return;
+    const CubePath p = base.embedding->edge_path(e);
+    if (p.size() == 2) {
+      faults.fail_link(p[0], p[1]);
+      armed = true;
+    }
+  });
+  ASSERT_TRUE(armed);
+
+  RecoveryController ctl(Shape{4, 4, 4}, opts);
+  const RepairResult r =
+      ctl.repair(*base.embedding, faults, base.report.dilation);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rung, Rung::Reroute);
+  EXPECT_EQ(r.moved_nodes, 0u);
+  EXPECT_EQ(r.migration_cost, 0u);
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.fault_free);
+  EXPECT_LE(r.report.dilation, base.report.dilation + 2);
+  // Reroute must not move any guest node.
+  for (MeshIndex i = 0; i < base.embedding->guest().num_nodes(); ++i)
+    EXPECT_EQ(r.embedding->map(i), base.embedding->map(i));
+}
+
+// --- Rung (b): migrate ------------------------------------------------------
+
+TEST(Recovery, DeadNodeMigratesToAdjacentSpare) {
+  // 3x3x7 fills 63 of Q6's 64 addresses: exactly one spare. Kill the used
+  // address one bit away from the spare, so the displaced guest node has a
+  // distance-1 home to move to.
+  const PlanResult base = plan_shape(Shape{3, 3, 7});
+  ASSERT_TRUE(base.report.valid);
+  ASSERT_EQ(base.report.host_dim, 6u);
+
+  std::vector<bool> used(64, false);
+  for (MeshIndex i = 0; i < 63; ++i) used[base.embedding->map(i)] = true;
+  CubeNode spare = 64;
+  for (CubeNode v = 0; v < 64; ++v)
+    if (!used[v]) spare = v;
+  ASSERT_LT(spare, 64u);
+
+  FaultSet faults;
+  faults.fail_node(spare ^ 1);  // a used neighbor of the spare
+
+  RecoveryController ctl(Shape{3, 3, 7}, full_options());
+  const RepairResult r =
+      ctl.repair(*base.embedding, faults, base.report.dilation);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rung, Rung::Migrate);
+  EXPECT_EQ(r.moved_nodes, 1u);
+  EXPECT_EQ(r.migration_cost, 1u);  // cost model: one node, distance one
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.fault_free);
+  EXPECT_LE(r.report.dilation, base.report.dilation + 1);
+  // Exactly the displaced guest node moved, onto the spare.
+  u64 moved = 0;
+  for (MeshIndex i = 0; i < 63; ++i) {
+    if (r.embedding->map(i) != base.embedding->map(i)) {
+      ++moved;
+      EXPECT_EQ(base.embedding->map(i), spare ^ 1);
+      EXPECT_EQ(r.embedding->map(i), spare);
+    }
+  }
+  EXPECT_EQ(moved, 1u);
+}
+
+TEST(Recovery, SparePreferenceStaysInFactorSubcube) {
+  // Hand-built placement in Q4 with inner factor width 2 (outer bits are
+  // bits 2-3). Guest node 6 sits at 13 (0b1101); its radius-1 spares are
+  // 9 (foreign outer bits) and 12 / 15 (same outer bits). Address order
+  // alone would pick 9; the factor preference must pick 12.
+  const std::vector<CubeNode> map{0, 1, 2, 3, 4, 5, 13};
+  auto emb = std::make_shared<ExplicitEmbedding>(
+      Mesh(Shape{7}), 4, std::vector<CubeNode>(map));
+  const VerifyReport before = verify(*emb);
+  ASSERT_TRUE(before.valid);
+  FaultSet faults;
+  faults.fail_node(13);
+
+  RecoveryOptions opts = full_options();
+  opts.max_dilation_increase = 4;  // isolate spare choice from the budget
+  RecoveryController ctl(Shape{7}, opts);
+  const RepairResult with_factor =
+      ctl.repair(*emb, faults, before.dilation, /*factor_inner_dim=*/2);
+  ASSERT_TRUE(with_factor.ok);
+  ASSERT_EQ(with_factor.rung, Rung::Migrate);
+  EXPECT_EQ(with_factor.embedding->map(6), 12u);
+
+  const RepairResult without_factor =
+      ctl.repair(*emb, faults, before.dilation, /*factor_inner_dim=*/0);
+  ASSERT_TRUE(without_factor.ok);
+  ASSERT_EQ(without_factor.rung, Rung::Migrate);
+  EXPECT_EQ(without_factor.embedding->map(6), 9u);
+}
+
+TEST(Recovery, InnerFactorDimOfProductPlan) {
+  auto inner = std::make_shared<GrayEmbedding>(Mesh(Shape{3, 3}));
+  auto outer = std::make_shared<GrayEmbedding>(Mesh(Shape{1, 2}));
+  MeshProductEmbedding product(inner, outer);
+  EXPECT_EQ(inner_factor_dim(product), 4u);
+  EXPECT_EQ(inner_factor_dim(*inner), 0u);  // not a product
+}
+
+// --- Rung (c): replan and escalation ---------------------------------------
+
+TEST(Recovery, FarSpareEscalatesToReplan) {
+  // Kill a used address farther than max_migration_radius from the only
+  // spare: reroute fails (dead endpoint), migrate finds no spare in
+  // radius, so the controller must replan.
+  const PlanResult base = plan_shape(Shape{3, 3, 7});
+  std::vector<bool> used(64, false);
+  for (MeshIndex i = 0; i < 63; ++i) used[base.embedding->map(i)] = true;
+  CubeNode spare = 64;
+  for (CubeNode v = 0; v < 64; ++v)
+    if (!used[v]) spare = v;
+  ASSERT_LT(spare, 64u);
+  const CubeNode far = spare ^ 0x3f;  // Hamming distance 6 from the spare
+  ASSERT_TRUE(used[far]);
+
+  FaultSet faults;
+  faults.fail_node(far);
+  RecoveryOptions opts = full_options();
+  opts.max_migration_radius = 2;
+  RecoveryController ctl(Shape{3, 3, 7}, opts);
+  const RepairResult r =
+      ctl.repair(*base.embedding, faults, base.report.dilation);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rung, Rung::Replan);
+  EXPECT_TRUE(r.report.valid);
+  EXPECT_TRUE(r.report.fault_free);
+  EXPECT_GE(r.moved_nodes, 1u);
+  EXPECT_GE(r.migration_cost, r.moved_nodes);  // every move costs >= 1
+}
+
+TEST(Recovery, ForceReplanSkipsLocalRungs) {
+  const PlanResult base = plan_shape(Shape{4, 4, 4});
+  FaultSet faults;
+  bool armed = false;
+  base.embedding->guest().for_each_edge([&](const MeshEdge& e) {
+    if (armed) return;
+    const CubePath p = base.embedding->edge_path(e);
+    if (p.size() == 2) {
+      faults.fail_link(p[0], p[1]);
+      armed = true;
+    }
+  });
+  ASSERT_TRUE(armed);
+  RecoveryOptions opts = full_options();
+  opts.force_replan = true;
+  RecoveryController ctl(Shape{4, 4, 4}, opts);
+  const RepairResult r =
+      ctl.repair(*base.embedding, faults, base.report.dilation);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rung, Rung::Replan);
+  EXPECT_TRUE(r.report.fault_free);
+}
+
+TEST(Recovery, UnrepairableReturnsNotOk) {
+  // No degrade provider and every address failed: nothing can certify.
+  const PlanResult base = plan_shape(Shape{2, 2});
+  FaultSet faults;
+  for (CubeNode v = 0; v < 4; ++v) faults.fail_node(v);
+  RecoveryController ctl(Shape{2, 2});  // bare: no providers attached
+  const RepairResult r =
+      ctl.repair(*base.embedding, faults, base.report.dilation);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.embedding, nullptr);
+}
+
+TEST(Recovery, RepairRejectsWrongShape) {
+  const PlanResult base = plan_shape(Shape{2, 2});
+  RecoveryController ctl(Shape{3, 3});
+  EXPECT_THROW((void)ctl.repair(*base.embedding, FaultSet{}, 1),
+               std::invalid_argument);
+}
+
+// --- Satellite: fault-aware plan_batch and cache purity ---------------------
+
+TEST(PlanBatchFaults, FaultedAndFaultFreeShareOneBatchSafely) {
+  // The same shape planned with and without faults in one batch, both
+  // orders. The faulted plans must certify against their fault sets, the
+  // fault-free plans must be byte-identical to an isolated plan() (i.e.
+  // the shared cache was never polluted by a faulted result).
+  const Shape shape{3, 3, 7};
+  const std::string clean_text = io::to_text(*plan_shape(shape).embedding);
+
+  FaultSet faults;
+  faults.fail_link(0, 1);
+
+  for (const bool faulted_first : {true, false}) {
+    ShardedPlanCache cache;
+    const std::vector<Shape> shapes{shape, shape};
+    const std::vector<const FaultSet*> fsets =
+        faulted_first ? std::vector<const FaultSet*>{&faults, nullptr}
+                      : std::vector<const FaultSet*>{nullptr, &faults};
+    const std::vector<PlanResult> plans = plan_batch(
+        shapes, fsets, {}, [] { return search::make_search_provider(); },
+        &cache);
+    const std::size_t fi = faulted_first ? 0 : 1;
+    const std::size_t ci = 1 - fi;
+
+    EXPECT_TRUE(plans[fi].report.valid);
+    EXPECT_TRUE(plans[fi].report.fault_free);
+    EXPECT_TRUE(verify(*plans[fi].embedding, faults).fault_free);
+
+    EXPECT_TRUE(plans[ci].report.valid);
+    EXPECT_EQ(io::to_text(*plans[ci].embedding), clean_text)
+        << "fault-free plan differs after sharing a batch with a faulted "
+           "plan: the cache was polluted";
+
+    // Planning the shape again from the same (warm) cache must still
+    // yield the clean embedding.
+    const std::vector<PlanResult> again = plan_batch(
+        {shape}, {}, [] { return search::make_search_provider(); }, &cache);
+    EXPECT_EQ(io::to_text(*again[0].embedding), clean_text);
+  }
+}
+
+TEST(PlanBatchFaults, SizesMustMatch) {
+  EXPECT_THROW(
+      (void)plan_batch({Shape{2, 2}}, std::vector<const FaultSet*>{}),
+      std::invalid_argument);
+}
+
+TEST(PlanBatchFaults, UnavoidableFaultsThrowAfterTheBatch) {
+  FaultSet all_dead;
+  for (CubeNode v = 0; v < 4; ++v) all_dead.fail_node(v);
+  EXPECT_THROW((void)plan_batch({Shape{2, 2}},
+                                std::vector<const FaultSet*>{&all_dead}),
+               std::invalid_argument);
+}
+
+// --- Concurrency: controllers + verify_batch under TSan ---------------------
+
+TEST(RecoveryConcurrency, ControllersShareCacheWithVerifyBatch) {
+  // Four controller threads repairing against a shared plan cache while
+  // the main thread runs verify_batch on the parallel engine: the TSan CI
+  // job runs this at HJ_THREADS=4 to certify the locking.
+  const PlanResult base = plan_shape(Shape{3, 3, 7});
+  std::vector<bool> used(64, false);
+  for (MeshIndex i = 0; i < 63; ++i) used[base.embedding->map(i)] = true;
+  CubeNode spare = 64;
+  for (CubeNode v = 0; v < 64; ++v)
+    if (!used[v]) spare = v;
+
+  ShardedPlanCache cache;
+  std::vector<RepairResult> results(4);
+  std::vector<std::thread> workers;
+  for (u32 t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      FaultSet faults;
+      faults.fail_node(spare ^ (u64{1} << t));
+      RecoveryController ctl(Shape{3, 3, 7}, full_options());
+      ctl.set_shared_cache(&cache);
+      results[t] =
+          ctl.repair(*base.embedding, faults, base.report.dilation);
+    });
+  }
+  std::vector<EmbeddingPtr> embs(16, base.embedding);
+  const std::vector<VerifyReport> reports = verify_batch(embs);
+  for (std::thread& w : workers) w.join();
+
+  for (const VerifyReport& r : reports) EXPECT_TRUE(r.valid);
+  for (u32 t = 0; t < 4; ++t) {
+    ASSERT_TRUE(results[t].ok) << "worker " << t;
+    EXPECT_TRUE(results[t].report.fault_free);
+  }
+}
+
+}  // namespace
+}  // namespace hj::recovery

@@ -7,6 +7,7 @@
 #include "core/direct.hpp"
 #include "core/io.hpp"
 #include "core/planner.hpp"
+#include "core/product.hpp"
 #include "core/router.hpp"
 #include "core/verify.hpp"
 #include "hypersim/network.hpp"
@@ -188,6 +189,7 @@ TEST(SimFaults, RetryExhaustionFailsMessages) {
   SimConfig cfg{4};
   cfg.faults = &faults;
   cfg.max_retries = 2;
+  cfg.detect_threshold = 2;  // must not exceed max_retries
   CubeNetwork net(cfg);
   for (CubeNode v = 0; v < 16; ++v)
     net.add_message(Hypercube::ecube_path(v, v ^ 15));
@@ -227,6 +229,79 @@ TEST(Detour, RoutesAroundFailedLinkOn3x3x3) {
   EXPECT_GE(stats.detoured_edges, 1u);
   EXPECT_EQ(stats.unroutable_edges, 0u);
   EXPECT_LE(stats.max_added_dilation, 2u);
+
+  const VerifyReport after = verify(*emb, faults);
+  EXPECT_TRUE(after.valid);
+  EXPECT_TRUE(after.fault_free);
+  EXPECT_LE(after.dilation, before.dilation + 2);
+}
+
+TEST(Detour, DeadLinkBetweenHealthyNodes) {
+  // A link-only fault: both endpoints stay alive, so the node map must be
+  // untouched and only the crossing paths may change.
+  auto emb = materialize(GrayEmbedding(Mesh(Shape{4, 4, 4})));
+  const VerifyReport before = verify(*emb);
+  ASSERT_TRUE(before.valid);
+  const std::vector<CubeNode> map_before = emb->node_map();
+
+  FaultSet faults;
+  bool armed = false;
+  emb->guest().for_each_edge([&](const MeshEdge& e) {
+    if (armed) return;
+    const CubePath p = emb->edge_path(e);
+    if (p.size() == 2) {
+      faults.fail_link(p[0], p[1]);
+      armed = true;
+    }
+  });
+  ASSERT_TRUE(armed);
+  ASSERT_FALSE(verify(*emb, faults).fault_free);
+  for (CubeNode v : map_before) ASSERT_FALSE(faults.node_failed(v));
+
+  const DetourStats stats = route_around_faults(*emb, faults);
+  EXPECT_TRUE(stats.ok);
+  EXPECT_GE(stats.detoured_edges, 1u);
+  EXPECT_EQ(stats.unroutable_edges, 0u);
+
+  const VerifyReport after = verify(*emb, faults);
+  EXPECT_TRUE(after.valid);
+  EXPECT_TRUE(after.fault_free);
+  EXPECT_LE(after.dilation, before.dilation + 2);
+  EXPECT_EQ(emb->node_map(), map_before);
+}
+
+TEST(Detour, LinkFaultOnReflectedBoundaryEdge) {
+  // 3x6 = (3x3) * (1x2): the outer axis has two inner copies, the second
+  // reflected by phi~, and the copy-boundary edges (column 2 -> 3) are
+  // carried by the outer embedding. Kill a link under one of those
+  // boundary paths and detour around it.
+  auto inner = std::make_shared<GrayEmbedding>(Mesh(Shape{3, 3}));
+  auto outer = std::make_shared<GrayEmbedding>(Mesh(Shape{1, 2}));
+  MeshProductEmbedding product(inner, outer);
+  ASSERT_EQ(product.guest().shape(), (Shape{3, 6}));
+  auto emb = materialize(product);
+  const VerifyReport before = verify(*emb);
+  ASSERT_TRUE(before.valid);
+
+  // Find a copy-boundary edge: axis 1, columns 2 and 3 (distinct y_j of
+  // the outer factor on either side).
+  FaultSet faults;
+  bool armed = false;
+  emb->guest().for_each_edge([&](const MeshEdge& e) {
+    if (armed || e.axis != 1) return;
+    if (e.a % 6 != 2 || e.b % 6 != 3) return;
+    const CubePath p = emb->edge_path(e);
+    ASSERT_GE(p.size(), 2u);
+    faults.fail_link(p[0], p[1]);
+    armed = true;
+  });
+  ASSERT_TRUE(armed);
+  ASSERT_FALSE(verify(*emb, faults).fault_free);
+
+  const DetourStats stats = route_around_faults(*emb, faults);
+  EXPECT_TRUE(stats.ok);
+  EXPECT_GE(stats.detoured_edges, 1u);
+  EXPECT_EQ(stats.unroutable_edges, 0u);
 
   const VerifyReport after = verify(*emb, faults);
   EXPECT_TRUE(after.valid);

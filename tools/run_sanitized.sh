@@ -1,15 +1,35 @@
 #!/bin/sh
-# Build the full tree with AddressSanitizer + UBSan (the HJ_SANITIZE
-# option) and run the test suite under it. Uses a separate build
-# directory so the regular build stays untouched.
+# Build the tree under a sanitizer and run tests against it. Uses a
+# separate build directory so the regular build stays untouched.
 #
-#   tools/run_sanitized.sh [build-dir]
+#   tools/run_sanitized.sh [asan|tsan] [build-dir]
+#
+# asan (default): AddressSanitizer + UBSan (HJ_SANITIZE), full test
+#   suite — matches the CI "sanitize" job.
+# tsan: ThreadSanitizer (HJ_SANITIZE_THREAD), runs the concurrency-heavy
+#   suites (recovery controller + live runs sharing caches with
+#   verify_batch, plus the parallel engine tests) at HJ_THREADS=4.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build=${1:-"$repo/build-asan"}
+mode=asan
+case "${1:-}" in
+  asan|tsan) mode=$1; shift ;;
+esac
+build=${1:-"$repo/build-$mode"}
 
-cmake -B "$build" -S "$repo" -DHJ_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$(nproc)"
-ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+if [ "$mode" = tsan ]; then
+  cmake -B "$build" -S "$repo" -DHJ_SANITIZE_THREAD=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)" \
+    --target test_recovery test_live test_determinism test_planner
+  TSAN_OPTIONS=halt_on_error=1 HJ_THREADS=4 \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+    -R 'Recovery|PlanBatch|LiveRun|LiveDeterminism|RunLive|Determinism|Planner'
+else
+  cmake -B "$build" -S "$repo" -DHJ_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+fi
