@@ -9,14 +9,19 @@
 // (shape, trial, mode, repair epoch): detection latency (cycles from
 // arrival to the detector pausing the run), rung chosen, migration cost,
 // post-repair dilation/congestion; plus a summary row per run with total
-// cycles and delivery accounting. Rows go to stdout AND to
-// BENCH_recovery.json in the working directory.
+// cycles and delivery accounting. Per-rung wall time and attempt counts
+// come from the observability registry (recovery.rung_us.* and
+// recovery.*.attempts/.certified), not from hand-rolled timers: the
+// registry is reset before each run so every summary row reports exactly
+// that run. Rows go to stdout AND to BENCH_recovery.json in the working
+// directory.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "hypersim/live.hpp"
 #include "manytoone/manytoone.hpp"
+#include "obs/obs.hpp"
 #include "search/provider.hpp"
 
 using namespace hj;
@@ -50,16 +55,42 @@ std::string epoch_row(const char* shape, u32 trial, const char* mode,
   return buf;
 }
 
+/// Per-run rung economics, read back from the metrics registry after a
+/// live run (the registry is reset before each run).
+struct RungCosts {
+  u64 us[3] = {0, 0, 0};  // reroute, migrate, replan wall time
+  u64 attempts = 0;
+  u64 certified = 0;
+};
+
+RungCosts collect_rung_costs() {
+  RungCosts c;
+  auto& reg = obs::Registry::global();
+  const char* rungs[3] = {"reroute", "migrate", "replan"};
+  for (int i = 0; i < 3; ++i) {
+    c.us[i] = reg.histogram(std::string("recovery.rung_us.") + rungs[i],
+                            obs::Kind::Timing)
+                  .sum();
+    const std::string base = std::string("recovery.") + rungs[i];
+    c.attempts += reg.counter(base + ".attempts").value();
+    c.certified += reg.counter(base + ".certified").value();
+  }
+  return c;
+}
+
 std::string summary_row(const char* shape, u32 trial, const char* mode,
-                        const sim::LiveRunResult& r, u64 total_cost) {
-  char buf[512];
+                        const sim::LiveRunResult& r, u64 total_cost,
+                        const RungCosts& rc) {
+  char buf[768];
   std::snprintf(
       buf, sizeof buf,
       "{\"shape\":\"%s\",\"trial\":%u,\"mode\":\"%s\",\"row\":\"run\","
       "\"ok\":%s,\"cycles\":%llu,\"messages\":%llu,\"delivered\":%llu,"
       "\"failed\":%llu,\"epochs\":%u,\"repairs\":%zu,"
       "\"total_migration_cost\":%llu,\"final_dilation\":%u,"
-      "\"final_congestion\":%u,\"final_load\":%llu}\n",
+      "\"final_congestion\":%u,\"final_load\":%llu,"
+      "\"reroute_us\":%llu,\"migrate_us\":%llu,\"replan_us\":%llu,"
+      "\"rung_attempts\":%llu,\"rung_certified\":%llu}\n",
       shape, trial, mode, r.ok ? "true" : "false",
       static_cast<unsigned long long>(r.cycles),
       static_cast<unsigned long long>(r.messages),
@@ -67,7 +98,12 @@ std::string summary_row(const char* shape, u32 trial, const char* mode,
       static_cast<unsigned long long>(r.failed), r.epochs, r.log.size(),
       static_cast<unsigned long long>(total_cost), r.report.dilation,
       r.report.congestion,
-      static_cast<unsigned long long>(r.report.load_factor));
+      static_cast<unsigned long long>(r.report.load_factor),
+      static_cast<unsigned long long>(rc.us[0]),
+      static_cast<unsigned long long>(rc.us[1]),
+      static_cast<unsigned long long>(rc.us[2]),
+      static_cast<unsigned long long>(rc.attempts),
+      static_cast<unsigned long long>(rc.certified));
   return buf;
 }
 
@@ -89,8 +125,10 @@ void run_shape(const Shape& shape) {
       opts.recovery.force_replan = force_replan;
       opts.recovery.direct_provider = search::make_search_provider();
       opts.recovery.degrade_provider = m2o::make_degrade_provider();
+      obs::Registry::global().reset();
       const sim::LiveRunResult live =
           sim::run_stencil_with_recovery(plan.embedding, schedule, opts);
+      const RungCosts rung_costs = collect_rung_costs();
       const char* mode = force_replan ? "replan_baseline" : "ladder";
       u64 total_cost = 0;
       for (std::size_t i = 0; i < live.log.size(); ++i) {
@@ -98,7 +136,8 @@ void run_shape(const Shape& shape) {
         emit(epoch_row(name.c_str(), trial, mode, static_cast<u32>(i),
                        live.log[i]));
       }
-      emit(summary_row(name.c_str(), trial, mode, live, total_cost));
+      emit(summary_row(name.c_str(), trial, mode, live, total_cost,
+                       rung_costs));
     }
   }
 }
@@ -106,6 +145,7 @@ void run_shape(const Shape& shape) {
 }  // namespace
 
 int main() {
+  obs::set_enabled(true);  // rung economics come from the registry
   g_json = std::fopen("BENCH_recovery.json", "w");
   if (!g_json)
     std::fprintf(stderr, "warning: cannot open BENCH_recovery.json\n");

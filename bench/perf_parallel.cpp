@@ -11,9 +11,11 @@
 //   * sweep n=1..9           — the Figure 2 triple sweep
 //   * verify_batch, 2k plans — certify 2000 planned embeddings
 //   * plan_batch, 2k shapes  — plan 2000 random shapes (shared cache)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "core/parallel.hpp"
 #include "core/planner.hpp"
 #include "core/verify.hpp"
+#include "obs/obs.hpp"
 
 using namespace hj;
 
@@ -35,13 +38,14 @@ double now_seconds() {
 }
 
 void emit(const char* workload, u32 param, u32 threads, double seconds,
-          double serial_seconds, bool identical) {
+          double serial_seconds, bool identical,
+          const std::string& extra = "") {
   std::printf("{\"exp\": \"E17\", \"workload\": \"%s\", \"size\": %u, "
               "\"threads\": %u, \"seconds\": %.4f, \"speedup\": %.2f, "
-              "\"identical\": %s}\n",
+              "\"identical\": %s%s}\n",
               workload, param, threads, seconds,
               seconds > 0 ? serial_seconds / seconds : 0.0,
-              identical ? "true" : "false");
+              identical ? "true" : "false", extra.c_str());
 }
 
 bool same_report(const VerifyReport& a, const VerifyReport& b) {
@@ -124,9 +128,21 @@ int main() {
   }
 
   // --- plan_batch over the same 2000 shapes ---
+  // Canonical-shape dedup ratio, computed independently of the registry
+  // so the timed rows stay observation-free.
+  std::set<std::string> canonical;
+  for (const Shape& s : shapes) {
+    SmallVec<u64, 4> ext = s.extents();
+    std::sort(ext.begin(), ext.end());
+    canonical.insert(Shape{ext}.to_string());
+  }
+  char dedup[64];
+  std::snprintf(dedup, sizeof dedup, ", \"dedup_ratio\": %.2f",
+                static_cast<double>(shapes.size()) /
+                    static_cast<double>(canonical.size()));
+  double plan_serial_seconds = 0;
   {
     std::vector<PlanResult> reference;
-    double serial_seconds = 0;
     for (u32 threads : kThreadCounts) {
       par::set_thread_override(threads);
       const double t0 = now_seconds();
@@ -135,15 +151,49 @@ int main() {
       bool identical = true;
       if (threads == 1) {
         reference = std::move(results);
-        serial_seconds = dt;
+        plan_serial_seconds = dt;
       } else {
         for (std::size_t i = 0; i < results.size(); ++i)
           identical = identical && results[i].plan == reference[i].plan &&
                       same_report(results[i].report, reference[i].report);
       }
       if (!identical) ++mismatches;
-      emit("plan_batch", 2000, threads, dt, serial_seconds, identical);
+      emit("plan_batch", 2000, threads, dt, plan_serial_seconds, identical,
+           dedup);
     }
+  }
+
+  // --- plan_batch again with the observability layer on ---
+  // One extra row measuring the instrumented run and reporting the
+  // registry's own view of the batch (cache traffic, dedup): both the
+  // overhead check and a smoke test that the hooks actually fire.
+  {
+    obs::set_enabled(true);
+    obs::Registry::global().reset();
+    const double t0 = now_seconds();
+    const std::vector<PlanResult> results = plan_batch(shapes);
+    const double dt = now_seconds() - t0;
+    obs::set_enabled(false);
+    auto& reg = obs::Registry::global();
+    const u64 lookups =
+        reg.counter("plancache.lookups", obs::Kind::Timing).value();
+    const u64 hits =
+        reg.counter("plancache.hits", obs::Kind::Timing).value();
+    const u64 unique = reg.counter("plan.batch.unique").value();
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"cache_hit_rate\": %.3f, \"lookups\": %llu, "
+                  "\"unique\": %llu",
+                  lookups ? static_cast<double>(hits) /
+                                static_cast<double>(lookups)
+                          : 0.0,
+                  static_cast<unsigned long long>(lookups),
+                  static_cast<unsigned long long>(unique));
+    const bool counts_ok = results.size() == shapes.size() &&
+                           unique == canonical.size();
+    if (!counts_ok) ++mismatches;
+    emit("plan_batch_obs", 2000, kThreadCounts[3], dt, plan_serial_seconds,
+         counts_ok, extra);
   }
 
   par::set_thread_override(0);

@@ -9,6 +9,8 @@
 //   hj_embed sweep 9                   Figure 2 coverage sweep for 2^n
 //   hj_embed sim 9 13                  stencil-exchange simulation
 //   hj_embed recover 3 3 7             live run with mid-run fault arrivals
+//   hj_embed stats [max_axis] [n]      observability demo: plan/simulate a
+//                                      seeded workload, print the registry
 //
 // The plan and sim commands accept --faults=<spec> (e.g.
 // --faults=node=5,link=3-7,p=0.01,seed=42): permanent faults route
@@ -25,8 +27,16 @@
 // parallel batch engine used by plan, verify and sweep; the default
 // comes from HJ_THREADS or the hardware. Results are identical at every
 // thread count.
+//
+// --metrics-out=<file> / --trace-out=<file> (any command) turn the
+// observability layer on and, after the command runs, write the metrics
+// registry as JSON / the span log as Chrome trace_event JSON (load the
+// latter in Perfetto or chrome://tracing). HJ_OBS=1 enables the hooks
+// without writing files.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,7 @@
 #include "hypersim/live.hpp"
 #include "hypersim/network.hpp"
 #include "manytoone/manytoone.hpp"
+#include "obs/obs.hpp"
 #include "search/provider.hpp"
 #include "torus/torus.hpp"
 
@@ -48,6 +59,48 @@ sim::FaultModel g_faults;
 bool g_have_faults = false;
 sim::FaultSchedule g_schedule;
 bool g_have_schedule = false;
+std::string g_metrics_out;
+std::string g_trace_out;
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args] [flags]\n"
+      "\n"
+      "commands:\n"
+      "  plan l1 [l2 ...]           plan a mesh, print the certificate\n"
+      "  torus l1 [l2 ...]          plan a wraparound mesh\n"
+      "  contract <n> l1 [l2 ...]   many-to-one contraction into Q_n\n"
+      "  save <file> l1 [l2 ...]    plan and serialize\n"
+      "  verify <file> [file ...]   reload and re-verify saved embeddings\n"
+      "  sweep <n>                  Figure 2 coverage sweep for 2^n\n"
+      "  sim l1 [l2 ...]            stencil-exchange simulation\n"
+      "  recover l1 [l2 ...]        live run with mid-run fault arrivals\n"
+      "  stats [max_axis] [n]       plan/simulate a seeded workload, print\n"
+      "                             the metrics registry summary\n"
+      "\n"
+      "flags (any command, anywhere on the line):\n"
+      "  --threads=N                parallel engine worker count\n"
+      "  --faults=<spec>            inject faults (node=5,link=3-7,p=0.01)\n"
+      "  --fault-schedule=<file>    timed fault arrivals for recover\n"
+      "  --metrics-out=<file>       write the metrics registry as JSON\n"
+      "  --trace-out=<file>         write spans as Chrome trace JSON\n",
+      argv0);
+}
+
+/// Write the post-command observability exports requested by
+/// --metrics-out / --trace-out.
+void write_obs_exports() {
+  auto dump = [](const std::string& path, const std::string& body) {
+    std::ofstream os(path, std::ios::binary);
+    require(os.good(), "cannot open '%s' for writing", path.c_str());
+    os << body;
+  };
+  if (!g_metrics_out.empty())
+    dump(g_metrics_out, obs::Registry::global().to_json());
+  if (!g_trace_out.empty())
+    dump(g_trace_out, obs::Trace::global().to_json());
+}
 
 PlanResult plan_mesh(const Shape& shape) {
   if (g_have_faults && !g_faults.permanent().empty()) {
@@ -195,19 +248,89 @@ int cmd_recover(int argc, char** argv) {
   return live.ok ? 0 : 1;
 }
 
+int cmd_stats(int argc, char** argv) {
+  // A seeded, self-contained workload that exercises every instrumented
+  // layer: batch planning (cache + dedup), the parallel engine, and the
+  // network simulator. Axes are drawn from [2, max_axis] (default 512 —
+  // the full paper-scale mesh range) but shapes are capped at 2^18 guest
+  // nodes so a sample stays seconds, not hours.
+  const u64 max_axis =
+      argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 512;
+  const u64 samples =
+      argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 128;
+  require(max_axis >= 2 && max_axis <= (u64{1} << 20),
+          "stats: max_axis must be in [2, 2^20]");
+  require(samples >= 1 && samples <= 100'000,
+          "stats: sample count must be in [1, 100000]");
+  obs::set_enabled(true);
+
+  constexpr u64 kMaxNodes = u64{1} << 18;
+  std::mt19937_64 rng(0x580B5ULL);
+  std::uniform_int_distribution<u64> axis(2, max_axis);
+  std::vector<Shape> shapes;
+  shapes.reserve(samples);
+  while (shapes.size() < samples) {
+    const u64 a = axis(rng), b = axis(rng), c = axis(rng);
+    if (a > kMaxNodes / b || a * b > kMaxNodes / c) continue;
+    shapes.push_back(Shape{{a, b, c}});
+  }
+
+  ShardedPlanCache cache;
+  const std::vector<PlanResult> plans = plan_batch(
+      shapes, {}, [] { return search::make_search_provider(); }, &cache);
+
+  // Run the stencil simulator on a handful of the small results (the
+  // flit-level model walks every cycle; Q13 is plenty to populate the
+  // link-utilization histograms).
+  u64 simmed = 0;
+  for (const PlanResult& r : plans) {
+    if (simmed == 8) break;
+    if (r.embedding->host_dim() > 13) continue;
+    const sim::SimResult s = sim::simulate_stencil(*r.embedding);
+    require(s.consistent(), "stats: simulator accounting broke");
+    ++simmed;
+  }
+
+  auto& reg = obs::Registry::global();
+  reg.gauge("plancache.size", obs::Kind::Timing)
+      .set(static_cast<i64>(cache.size()));
+
+  const u64 lookups =
+      reg.counter("plancache.lookups", obs::Kind::Timing).value();
+  const u64 hits = reg.counter("plancache.hits", obs::Kind::Timing).value();
+  const u64 batched = reg.counter("plan.batch.shapes").value();
+  const u64 unique = reg.counter("plan.batch.unique").value();
+  std::printf("stats workload: %llu shapes (axes in [2, %llu], <= 2^18 "
+              "nodes), %llu simulated\n",
+              static_cast<unsigned long long>(shapes.size()),
+              static_cast<unsigned long long>(max_axis),
+              static_cast<unsigned long long>(simmed));
+  std::printf("cache hit rate: %.1f%% (%llu/%llu lookups)\n",
+              lookups ? 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(lookups)
+                      : 0.0,
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(lookups));
+  std::printf("dedup ratio: %.2fx (%llu shapes -> %llu canonical)\n",
+              unique ? static_cast<double>(batched) /
+                           static_cast<double>(unique)
+                     : 0.0,
+              static_cast<unsigned long long>(batched),
+              static_cast<unsigned long long>(unique));
+  std::printf("\n%s", reg.summary().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s plan|torus|contract|save|verify|sweep|sim|recover ...\n",
-        argv[0]);
+    print_usage(argv[0]);
     return 2;
   }
   try {
-    // Strip --faults=<spec> / --threads=N (anywhere on the line) before
-    // dispatch.
+    // Strip --faults=<spec> / --threads=N / the observability export
+    // flags (anywhere on the line) before dispatch.
     int out = 1;
     for (int i = 1; i < argc; ++i) {
       if (std::strncmp(argv[i], "--faults=", 9) == 0) {
@@ -218,6 +341,12 @@ int main(int argc, char** argv) {
         g_have_schedule = true;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
+      } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+        g_metrics_out = argv[i] + 14;
+        obs::set_enabled(true);
+      } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        g_trace_out = argv[i] + 12;
+        obs::set_enabled(true);
       } else {
         argv[out++] = argv[i];
       }
@@ -225,16 +354,23 @@ int main(int argc, char** argv) {
     argc = out;
     require(argc >= 2, "expected a command before/after the flags");
     const std::string cmd = argv[1];
-    if (cmd == "plan") return cmd_plan(argc, argv);
-    if (cmd == "torus") return cmd_torus(argc, argv);
-    if (cmd == "contract") return cmd_contract(argc, argv);
-    if (cmd == "save") return cmd_save(argc, argv);
-    if (cmd == "verify") return cmd_verify(argc, argv);
-    if (cmd == "sweep") return cmd_sweep(argc, argv);
-    if (cmd == "sim") return cmd_sim(argc, argv);
-    if (cmd == "recover") return cmd_recover(argc, argv);
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 2;
+    int rc = -1;
+    if (cmd == "plan") rc = cmd_plan(argc, argv);
+    else if (cmd == "torus") rc = cmd_torus(argc, argv);
+    else if (cmd == "contract") rc = cmd_contract(argc, argv);
+    else if (cmd == "save") rc = cmd_save(argc, argv);
+    else if (cmd == "verify") rc = cmd_verify(argc, argv);
+    else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
+    else if (cmd == "sim") rc = cmd_sim(argc, argv);
+    else if (cmd == "recover") rc = cmd_recover(argc, argv);
+    else if (cmd == "stats") rc = cmd_stats(argc, argv);
+    if (rc < 0) {
+      std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+      print_usage(argv[0]);
+      return 2;
+    }
+    write_obs_exports();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

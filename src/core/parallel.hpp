@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "obs/obs.hpp"
 
 namespace hj::par {
 
@@ -60,12 +61,9 @@ inline void set_thread_override(u32 n) {
 
 namespace detail {
 
-/// Run `fn(chunk_index)` for every chunk in [0, chunks). Workers claim
-/// chunk indices from an atomic counter; the first exception is captured
-/// and rethrown on the calling thread after all workers join.
+/// Worker loop shared by the plain and observed paths; see run_chunks.
 template <class Fn>
-void run_chunks(u64 chunks, Fn&& fn) {
-  if (chunks == 0) return;
+void run_chunks_plain(u64 chunks, Fn&& fn) {
   const u64 workers = std::min<u64>(thread_count(), chunks);
   if (workers <= 1) {
     for (u64 c = 0; c < chunks; ++c) fn(c);
@@ -94,6 +92,49 @@ void run_chunks(u64 chunks, Fn&& fn) {
   work();
   for (std::thread& t : pool) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+/// Observed path: times every chunk and records per-chunk wall time plus
+/// the invocation's imbalance (max/mean chunk time, x100) into the
+/// registry. All par.* metrics are Kind::Timing — chunk decomposition
+/// depends on the grain callers derive from thread_count(), and wall
+/// time is wall time; nothing here joins the determinism contract.
+template <class Fn>
+void run_chunks_observed(u64 chunks, Fn&& fn) {
+  auto& reg = obs::Registry::global();
+  obs::Histogram& chunk_us =
+      reg.histogram("par.chunk_us", obs::Kind::Timing);
+  std::vector<u64> durations(chunks, 0);
+  run_chunks_plain(chunks, [&](u64 c) {
+    const u64 t0 = obs::now_us();
+    fn(c);
+    durations[c] = obs::now_us() - t0;
+  });
+  u64 total = 0, longest = 0;
+  for (u64 d : durations) {
+    chunk_us.observe(d);
+    total += d;
+    longest = std::max(longest, d);
+  }
+  reg.counter("par.invocations", obs::Kind::Timing).add();
+  reg.counter("par.chunks", obs::Kind::Timing).add(chunks);
+  // 100 = perfectly balanced; 800 = the slowest chunk ran 8x the mean.
+  reg.histogram("par.imbalance_x100", obs::Kind::Timing)
+      .observe(total ? longest * chunks * 100 / total : 100);
+}
+
+/// Run `fn(chunk_index)` for every chunk in [0, chunks). Workers claim
+/// chunk indices from an atomic counter; the first exception is captured
+/// and rethrown on the calling thread after all workers join.
+template <class Fn>
+void run_chunks(u64 chunks, Fn&& fn) {
+  if (chunks == 0) return;
+  HJ_SPAN_N("par.run_chunks", chunks);
+  if (obs::enabled()) {
+    run_chunks_observed(chunks, std::forward<Fn>(fn));
+    return;
+  }
+  run_chunks_plain(chunks, std::forward<Fn>(fn));
 }
 
 [[nodiscard]] inline u64 chunk_count(u64 begin, u64 end, u64 grain) {

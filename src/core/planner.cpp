@@ -7,6 +7,7 @@
 #include "core/parallel.hpp"
 #include "core/product.hpp"
 #include "core/router.hpp"
+#include "obs/obs.hpp"
 
 namespace hj {
 namespace {
@@ -32,19 +33,46 @@ u32 ShardedPlanCache::shard_of(const std::string& key) {
 
 std::optional<PlanCacheEntry> ShardedPlanCache::get(
     const std::string& key) const {
-  const Shard& s = shards_[shard_of(key)];
-  const std::lock_guard<std::mutex> lock(s.mu);
-  if (auto it = s.map.find(key); it != s.map.end()) return it->second;
-  return std::nullopt;
+  std::optional<PlanCacheEntry> hit;
+  {
+    const Shard& s = shards_[shard_of(key)];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    if (auto it = s.map.find(key); it != s.map.end()) hit = it->second;
+  }
+  // Timing-kind: whether a worker hits depends on which worker published
+  // the key first, i.e. on scheduling — only the *results* served are
+  // deterministic, never the hit counts.
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& lookups =
+        reg.counter("plancache.lookups", obs::Kind::Timing);
+    static obs::Counter& hits =
+        reg.counter("plancache.hits", obs::Kind::Timing);
+    lookups.add();
+    if (hit) hits.add();
+  }
+  return hit;
 }
 
 void ShardedPlanCache::put(const std::string& key,
                            const PlanCacheEntry& entry) {
-  Shard& s = shards_[shard_of(key)];
-  const std::lock_guard<std::mutex> lock(s.mu);
-  // First writer wins; a racing writer computed the same value anyway
-  // (planning is deterministic), so dropping the duplicate is safe.
-  s.map.try_emplace(key, entry);
+  bool inserted;
+  {
+    Shard& s = shards_[shard_of(key)];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    // First writer wins; a racing writer computed the same value anyway
+    // (planning is deterministic), so dropping the duplicate is safe.
+    inserted = s.map.try_emplace(key, entry).second;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& puts =
+        reg.counter("plancache.puts", obs::Kind::Timing);
+    static obs::Counter& inserts =
+        reg.counter("plancache.inserts", obs::Kind::Timing);
+    puts.add();
+    if (inserted) inserts.add();
+  }
 }
 
 u64 ShardedPlanCache::size() const {
@@ -94,8 +122,22 @@ Planner::Entry Planner::gray_entry(const Shape& shape) const {
 }
 
 Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
+  // Timing-kind: how often best() runs (vs being memo-served) depends on
+  // which worker planner owned which chunk of the batch.
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::Registry::global().counter(
+        "planner.best_calls", obs::Kind::Timing);
+    calls.add();
+  }
   const std::string key = shape.to_string() + (may_extend ? "+" : "-");
-  if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    if (obs::enabled()) {
+      static obs::Counter& hits = obs::Registry::global().counter(
+          "planner.memo_hits", obs::Kind::Timing);
+      hits.add();
+    }
+    return it->second;
+  }
   if (shared_) {
     if (auto hit = shared_->get(key)) {
       memo_[key] = *hit;
@@ -258,6 +300,12 @@ void Planner::try_pattern_extension(const Shape& shape, Entry& incumbent) {
 }
 
 PlanResult Planner::plan(const Shape& shape) {
+  HJ_SPAN("plan");
+  if (obs::enabled()) {
+    static obs::Counter& plans =
+        obs::Registry::global().counter("planner.plans");
+    plans.add();
+  }
   Entry e = best(shape, opts_.allow_extension);
   PlanResult out;
   out.embedding = e.emb;
@@ -267,6 +315,12 @@ PlanResult Planner::plan(const Shape& shape) {
 }
 
 PlanResult Planner::plan_avoiding(const Shape& shape, const FaultSet& faults) {
+  HJ_SPAN("plan_avoiding");
+  if (obs::enabled()) {
+    static obs::Counter& avoiding =
+        obs::Registry::global().counter("planner.avoiding");
+    avoiding.add();
+  }
   // Cache-purity audit: memo_ and the shared ShardedPlanCache are keyed
   // by (shape, extension flag) only — no fault information — so a
   // fault-constrained plan must NEVER be inserted under such a key, or a
@@ -406,6 +460,7 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
                                    const PlannerOptions& opts,
                                    const DirectProviderFactory& provider_factory,
                                    ShardedPlanCache* cache) {
+  HJ_SPAN_N("plan_batch", shapes.size());
   ShardedPlanCache local_cache;
   if (!cache) cache = &local_cache;
 
@@ -422,40 +477,68 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
       canon_of[i] = it->second;
     }
   }
+  // Deterministic-kind: request and canonical counts are pure functions
+  // of the input batch (the dedup-effectiveness numerator/denominator).
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("plan.batch.calls").add();
+    reg.counter("plan.batch.shapes").add(shapes.size());
+    reg.counter("plan.batch.unique").add(uniq.size());
+  }
 
   // Plan the canonical shapes. Chunks larger than one shape let a worker
   // planner reuse its local memo across neighbouring shapes; the shared
   // cache covers reuse across chunks. Each canonical plan is a pure
   // function of the shape, so scheduling cannot change any result.
   std::vector<PlanResult> canon_plans(uniq.size());
-  const u64 plan_grain =
-      std::max<u64>(1, uniq.size() / (u64{par::thread_count()} * 4));
-  par::parallel_for(0, uniq.size(), plan_grain, [&](u64 lo, u64 hi) {
-    Planner planner(opts);
-    planner.set_shared_cache(cache);
-    if (provider_factory) planner.set_direct_provider(provider_factory());
-    for (u64 i = lo; i < hi; ++i) canon_plans[i] = planner.plan(uniq[i]);
-  });
+  {
+    HJ_SPAN_N("plan_batch.plan_canonical", uniq.size());
+    const u64 plan_grain =
+        std::max<u64>(1, uniq.size() / (u64{par::thread_count()} * 4));
+    par::parallel_for(0, uniq.size(), plan_grain, [&](u64 lo, u64 hi) {
+      Planner planner(opts);
+      planner.set_shared_cache(cache);
+      if (provider_factory) planner.set_direct_provider(provider_factory());
+      for (u64 i = lo; i < hi; ++i) canon_plans[i] = planner.plan(uniq[i]);
+    });
+  }
 
   // Relabel each canonical plan to the requested axis order. Permuted
   // outputs are re-verified (the relabelled guest has its own edge set).
   std::vector<PlanResult> out(shapes.size());
-  par::parallel_for(0, shapes.size(), /*grain=*/16, [&](u64 lo, u64 hi) {
-    for (u64 i = lo; i < hi; ++i) {
-      const PlanResult& canon = canon_plans[canon_of[i]];
-      if (shapes[i] == canon.embedding->guest().shape()) {
-        out[i] = canon;
-        continue;
+  {
+    HJ_SPAN("plan_batch.relabel");
+    par::parallel_for(0, shapes.size(), /*grain=*/16, [&](u64 lo, u64 hi) {
+      for (u64 i = lo; i < hi; ++i) {
+        const PlanResult& canon = canon_plans[canon_of[i]];
+        if (shapes[i] == canon.embedding->guest().shape()) {
+          out[i] = canon;
+          continue;
+        }
+        const Shape& base_shape = canon.embedding->guest().shape();
+        auto relabeled = std::make_shared<RelabelEmbedding>(
+            canon.embedding, shapes[i], permutation_to(base_shape, shapes[i]));
+        out[i].report = verify(*relabeled);
+        out[i].embedding = std::move(relabeled);
+        out[i].plan =
+            "perm<" + shapes[i].to_string() + ">(" + canon.plan + ")";
       }
-      const Shape& base_shape = canon.embedding->guest().shape();
-      auto relabeled = std::make_shared<RelabelEmbedding>(
-          canon.embedding, shapes[i], permutation_to(base_shape, shapes[i]));
-      out[i].report = verify(*relabeled);
-      out[i].embedding = std::move(relabeled);
-      out[i].plan =
-          "perm<" + shapes[i].to_string() + ">(" + canon.plan + ")";
+    });
+  }
+  // Result-quality distributions are functions of the (deterministic)
+  // results; observed serially so the loop itself adds no sync.
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    obs::Histogram& dil = reg.histogram("plan.dilation");
+    obs::Histogram& slack = reg.histogram("plan.cube_slack");
+    obs::Counter& relabeled = reg.counter("plan.batch.relabeled");
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      dil.observe(out[i].report.dilation);
+      slack.observe(out[i].report.host_dim - shapes[i].minimal_cube_dim());
+      if (out[i].embedding != canon_plans[canon_of[i]].embedding)
+        relabeled.add();
     }
-  });
+  }
   return out;
 }
 
@@ -467,6 +550,7 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
   require(faults.size() == shapes.size(),
           "plan_batch: %zu fault sets for %zu shapes", faults.size(),
           shapes.size());
+  HJ_SPAN_N("plan_batch.faulted", shapes.size());
   ShardedPlanCache local_cache;
   if (!cache) cache = &local_cache;
 
@@ -486,6 +570,9 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
       free_slot.push_back(i);
     }
   }
+
+  if (obs::enabled())
+    obs::Registry::global().counter("plan.batch.faulted").add(faulted.size());
 
   std::vector<PlanResult> out(shapes.size());
   std::vector<PlanResult> free_plans =

@@ -7,9 +7,45 @@
 #include "core/io.hpp"
 #include "core/product.hpp"
 #include "core/router.hpp"
+#include "obs/obs.hpp"
 
 namespace hj::recovery {
 namespace {
+
+/// Per-rung registry scope: counts the attempt, times the rung, and (by
+/// watching the function's result object) counts certified outcomes.
+/// Rung wall time feeds recovery.rung_us.<rung> — the registry numbers
+/// E18 reports instead of hand-rolled bench timers. Attempt/certified
+/// counts are deterministic (the ladder walk is); durations are Timing.
+class RungObs {
+ public:
+  RungObs(const char* rung, const RepairResult& result)
+      : rung_(rung), result_(&result), on_(obs::enabled()) {
+    if (on_) t0_ = obs::now_us();
+  }
+  RungObs(const RungObs&) = delete;
+  RungObs& operator=(const RungObs&) = delete;
+  ~RungObs() {
+    if (!on_) return;
+    auto& reg = obs::Registry::global();
+    const std::string base = std::string("recovery.") + rung_;
+    reg.counter(base + ".attempts").add();
+    if (result_->ok) {
+      reg.counter(base + ".certified").add();
+      reg.histogram("recovery.migration_cost")
+          .observe(result_->migration_cost);
+    }
+    reg.histogram("recovery.rung_us." + std::string(rung_),
+                  obs::Kind::Timing)
+        .observe(obs::now_us() - t0_);
+  }
+
+ private:
+  const char* rung_;
+  const RepairResult* result_;
+  u64 t0_ = 0;
+  bool on_;
+};
 
 /// Materialize any embedding as a freely mutable ExplicitEmbedding (node
 /// map plus every non-default edge path) via the io round trip.
@@ -89,6 +125,8 @@ RepairResult RecoveryController::try_reroute(const Embedding& current,
                                             u32 dilation_budget) {
   RepairResult out;
   out.rung = Rung::Reroute;
+  HJ_SPAN("recovery.reroute");
+  const RungObs rung_obs("reroute", out);
   auto repaired = materialize(current);
   const DetourStats detour =
       route_around_faults(*repaired, faults, opts_.detour_budget);
@@ -113,6 +151,8 @@ RepairResult RecoveryController::try_migrate(const Embedding& current,
                                             u32 factor_inner_dim) {
   RepairResult out;
   out.rung = Rung::Migrate;
+  HJ_SPAN("recovery.migrate");
+  const RungObs rung_obs("migrate", out);
   const u32 n = current.host_dim();
   const u64 nodes = current.guest().num_nodes();
 
@@ -182,6 +222,8 @@ RepairResult RecoveryController::try_replan(const Embedding& current,
                                            const FaultSet& faults) {
   RepairResult out;
   out.rung = Rung::Replan;
+  HJ_SPAN("recovery.replan");
+  const RungObs rung_obs("replan", out);
   try {
     PlanResult plan = planner_.plan_avoiding(shape_, faults);
     out.moved_nodes = count_moves(current, *plan.embedding,
@@ -207,6 +249,20 @@ RepairResult RecoveryController::repair(const Embedding& current,
           current.guest().shape().to_string().c_str(),
           shape_.to_string().c_str());
   const u32 budget = baseline_dilation + opts_.max_dilation_increase;
+  HJ_SPAN("recovery.repair");
+  // Which rung the ladder ultimately handed back (certified outcomes
+  // only); distinct from <rung>.certified, which also counts the losing
+  // candidate when migrate and replan both succeed.
+  auto chosen = [](RepairResult r) {
+    if (obs::enabled()) {
+      auto& reg = obs::Registry::global();
+      reg.counter("recovery.repairs").add();
+      if (r.ok)
+        reg.counter(std::string("recovery.chosen.") + rung_name(r.rung))
+            .add();
+    }
+    return r;
+  };
 
   // Rungs (a)/(b) patch an explicit placement; a many-to-one embedding
   // (load factor > 1) has no such placement to patch — replan directly.
@@ -216,14 +272,15 @@ RepairResult RecoveryController::repair(const Embedding& current,
   if (local_repair_possible) {
     // (a) costs zero migration: if it certifies, nothing can beat it.
     RepairResult a = try_reroute(current, faults, budget);
-    if (a.ok) return a;
+    if (a.ok) return chosen(std::move(a));
 
     RepairResult b = try_migrate(current, faults, budget, factor_inner_dim);
     RepairResult c = try_replan(current, faults);
-    if (b.ok && (!c.ok || b.migration_cost <= c.migration_cost)) return b;
-    return c;
+    if (b.ok && (!c.ok || b.migration_cost <= c.migration_cost))
+      return chosen(std::move(b));
+    return chosen(std::move(c));
   }
-  return try_replan(current, faults);
+  return chosen(try_replan(current, faults));
 }
 
 u32 inner_factor_dim(const Embedding& emb) {

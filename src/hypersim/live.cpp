@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace hj::sim {
 namespace {
 
@@ -28,6 +30,11 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
                                         const FaultSchedule& schedule,
                                         const LiveOptions& opts) {
   require(base != nullptr, "run_stencil_with_recovery: null embedding");
+  HJ_SPAN("live.run");
+  if (obs::enabled()) {
+    static obs::Counter& runs = obs::Registry::global().counter("live.runs");
+    runs.add();
+  }
   LiveRunResult result;
   result.embedding = base;
 
@@ -57,6 +64,7 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
   u64 now = 0;
   bool truncated = false;
   while (result.epochs < opts.max_epochs) {
+    HJ_SPAN_N("live.epoch", result.epochs);
     const Embedding& emb = *result.embedding;
     cfg.cube_dim = emb.host_dim();
     CubeNetwork net(cfg);
@@ -75,6 +83,11 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
       queued.push_back(i);
     }
     if (queued.empty()) break;  // everything delivered
+    if (obs::enabled()) {
+      static obs::Counter& retx =
+          obs::Registry::global().counter("live.retransmits");
+      retx.add(queued.size());
+    }
 
     const LiveEpochResult epoch = net.run_live(now, schedule);
     now = epoch.end_cycle;
@@ -99,6 +112,7 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
     // unexplained suspect is a persistent transient and is quarantined
     // as a permanent link (conservative: we only ever route *around* a
     // healthy-but-unlucky link, never through a dead one).
+    HJ_SPAN_N("live.diagnose", epoch.detections.size());
     RecoveryEpochLog entry;
     entry.detect_cycle = epoch.detections.front().cycle;
     entry.arrival_cycle = entry.detect_cycle;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace hj::sim {
 namespace {
 
@@ -89,6 +91,7 @@ void CubeNetwork::add_broadcast(const Embedding& emb, MeshIndex root) {
 }
 
 SimResult CubeNetwork::run() {
+  HJ_SPAN_N("sim.run", routes_.size());
   SimResult result;
   result.messages = routes_.size();
   result.switching = config_.switching;
@@ -98,6 +101,7 @@ SimResult CubeNetwork::run() {
   const u32 dim = std::max(config_.cube_dim, 1u);
   const u32 flits = config_.message_flits;
   const FaultModel* faults = config_.faults;
+  const bool observing = obs::enabled();
 
   // Static route statistics (over all queued routes, failed or not).
   std::unordered_map<u64, u32> static_load;
@@ -108,6 +112,11 @@ SimResult CubeNetwork::run() {
     for (std::size_t i = 0; i + 1 < r.size(); ++i)
       result.max_link_load = std::max(
           result.max_link_load, ++static_load[link_id(r[i], r[i + 1], dim)]);
+  }
+  if (observing) {
+    obs::Histogram& route_len =
+        obs::Registry::global().histogram("sim.route_len");
+    for (const CubePath& r : routes_) route_len.observe(r.size() - 1);
   }
 
   // Flit-level simulation. crossed[m][h] = flits of message m that have
@@ -163,10 +172,18 @@ SimResult CubeNetwork::run() {
   for (u32 m : roots) release(m, active, release);
 
   const bool transient = faults && faults->has_transient();
+  // Queue-depth proxy, counted unconditionally (one integer increment):
+  // transmission attempts deferred because the link's bandwidth was
+  // already spent this cycle.
+  u64 blocked_attempts = 0;
+  obs::Histogram* active_hist =
+      observing ? &obs::Registry::global().histogram("sim.active_messages")
+                : nullptr;
   std::unordered_map<u64, u32> used_this_cycle;
   used_this_cycle.reserve(static_load.size());
   while (!active.empty() && result.cycles < config_.max_cycles) {
     ++result.cycles;
+    if (active_hist) active_hist->observe(active.size());
     used_this_cycle.clear();
     std::vector<u32> still_active;
     still_active.reserve(active.size());
@@ -181,7 +198,10 @@ SimResult CubeNetwork::run() {
         if (!cut_through && upstream < flits) continue;
         const u64 link = link_id(r[h], r[h + 1], dim);
         u32& used = used_this_cycle[link];
-        if (used >= config_.link_bandwidth) continue;
+        if (used >= config_.link_bandwidth) {
+          ++blocked_attempts;
+          continue;
+        }
         ++used;  // a dropped transmission still occupies the link slot
         if (transient && faults->drops(result.cycles, link)) {
           ++result.dropped_flits;
@@ -216,6 +236,30 @@ SimResult CubeNetwork::run() {
                 ? 0.0
                 : static_cast<double>(result.cycles) /
                       static_cast<double>(std::max<u64>(1, result.lower_bound()));
+  if (observing) {
+    // Deterministic-kind: the simulator is sequential with deterministic
+    // arbitration, so every number here is a pure function of the queued
+    // routes and the fault model.
+    auto& reg = obs::Registry::global();
+    reg.counter("sim.runs").add();
+    reg.counter("sim.messages").add(result.messages);
+    reg.counter("sim.cycles").add(result.cycles);
+    reg.counter("sim.delivered").add(result.delivered);
+    reg.counter("sim.failed_messages").add(result.failed_messages);
+    reg.counter("sim.dropped_flits").add(result.dropped_flits);
+    reg.counter("sim.blocked_attempts").add(blocked_attempts);
+    obs::Histogram& link_load = reg.histogram("sim.link_load");
+    obs::Histogram& link_util = reg.histogram("sim.link_util_pct");
+    const u64 capacity = result.cycles * config_.link_bandwidth;
+    for (const auto& [link, load] : static_load) {
+      link_load.observe(load);
+      // Share of the run each used link spent carrying flits; only
+      // meaningful when the run drained (a truncated run's cycle count
+      // measures the cap, not the traffic).
+      if (result.completed && capacity > 0)
+        link_util.observe(u64{load} * flits * 100 / capacity);
+    }
+  }
   routes_.clear();
   deps_.clear();
   return result;
@@ -223,6 +267,7 @@ SimResult CubeNetwork::run() {
 
 LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
                                       const FaultSchedule& schedule) {
+  HJ_SPAN_N("sim.run_live", routes_.size());
   LiveEpochResult result;
   result.messages = routes_.size();
   result.message_delivered.assign(routes_.size(), 0);
@@ -372,6 +417,14 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
   result.detected = !result.detections.empty();
   result.truncated =
       !result.detected && !active.empty() && executed >= config_.max_cycles;
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("sim.live.epochs").add();
+    reg.counter("sim.live.cycles").add(executed);
+    reg.counter("sim.live.detections").add(result.detections.size());
+    reg.counter("sim.live.delivered").add(result.delivered);
+    reg.counter("sim.live.dropped_flits").add(result.dropped_flits);
+  }
   routes_.clear();
   deps_.clear();
   return result;

@@ -102,6 +102,16 @@ struct SimResult {
   /// Only meaningful for completed runs; 0.0 when !completed (a capped or
   /// fault-broken run has no meaningful schedule length).
   double slowdown_vs_bound = 0.0;
+
+  /// Accounting invariant of the counters above (previously only stated
+  /// in comments): every message is delivered, failed, or still in
+  /// flight (a truncated run), so delivered + failed never exceeds the
+  /// total, and `completed` is exactly "all delivered, none failed".
+  /// run() upholds this by construction; tests assert it on every result.
+  [[nodiscard]] bool consistent() const noexcept {
+    return delivered + failed_messages <= messages &&
+           completed == (delivered == messages && failed_messages == 0);
+  }
 };
 
 /// One suspicion raised by run_live's detection layer: the directed link

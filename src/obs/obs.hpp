@@ -1,0 +1,24 @@
+// hjembed: observability umbrella — include this from instrumentation
+// sites. Hook idiom (the pattern every instrumented module uses):
+//
+//   if (obs::enabled()) {
+//     static obs::Counter& hits =
+//         obs::Registry::global().counter("plancache.hits",
+//                                         obs::Kind::Timing);
+//     hits.add();
+//   }
+//   HJ_SPAN("plan_batch");           // scope-wide trace span
+//
+// The static reference makes the registry lookup once per call site; the
+// enabled() gate keeps the disabled cost at one relaxed load. With
+// HJ_DISABLE_OBS defined (cmake -DHJ_DISABLE_OBS=ON) enabled() is
+// constexpr false and the whole block is dead-code-eliminated.
+//
+// Metric naming: dotted lowercase paths, subsystem first —
+// plancache.*, plan.batch.*, planner.*, par.*, sim.*, recovery.*,
+// live.*. Kind::Deterministic only for observation sets that are pure
+// functions of the workload (see the contract in metrics.hpp).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,52 @@
+# Generic hj_embed CLI test case, driven by `cmake -P` so no shell is
+# assumed. Variables (passed with -D):
+#   BIN             path to the hj_embed binary (required)
+#   ARGS            semicolon-separated argument list
+#   EXPECT_NONZERO  if set, the command must FAIL (any nonzero exit)
+#   MATCH           substring that must appear in combined stdout+stderr
+#   FILE1 / FILE1_MATCH, FILE2 / FILE2_MATCH
+#                   files that must exist afterwards and contain the
+#                   given substring (export-flag round trips)
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "run_case.cmake: BIN is required")
+endif()
+
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${BIN}" ${ARG_LIST}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+set(combined "${out}${err}")
+
+if(EXPECT_NONZERO)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure, got exit 0\n${combined}")
+  endif()
+else()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "exit ${rc}\n${combined}")
+  endif()
+endif()
+
+if(DEFINED MATCH)
+  string(FIND "${combined}" "${MATCH}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "output does not contain '${MATCH}'\n${combined}")
+  endif()
+endif()
+
+foreach(slot 1 2)
+  if(DEFINED FILE${slot})
+    if(NOT EXISTS "${FILE${slot}}")
+      message(FATAL_ERROR "expected file ${FILE${slot}} was not written")
+    endif()
+    file(READ "${FILE${slot}}" body)
+    string(FIND "${body}" "${FILE${slot}_MATCH}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "${FILE${slot}} does not contain '${FILE${slot}_MATCH}'")
+    endif()
+  endif()
+endforeach()

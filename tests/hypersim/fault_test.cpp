@@ -95,6 +95,7 @@ TEST(SimFaults, CleanRunSetsCompleted) {
   net.add_message(CubePath{0, 1, 3});
   SimResult r = net.run();
   EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.consistent());
   EXPECT_EQ(r.delivered, 1u);
   EXPECT_EQ(r.failed_messages, 0u);
   EXPECT_GT(r.slowdown_vs_bound, 0.0);
@@ -107,6 +108,7 @@ TEST(SimFaults, TruncatedRunReportsIncomplete) {
   net.add_message(CubePath{0, 1, 3, 7});
   SimResult r = net.run();
   EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.consistent());  // in-flight message: delivered+failed < total
   EXPECT_EQ(r.cycles, 2u);
   EXPECT_EQ(r.delivered, 0u);
   EXPECT_DOUBLE_EQ(r.slowdown_vs_bound, 0.0);
@@ -122,6 +124,7 @@ TEST(SimFaults, PermanentLinkFaultFailsAffectedMessage) {
   net.add_message(CubePath{4, 6});     // healthy
   SimResult r = net.run();
   EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.consistent());
   EXPECT_EQ(r.failed_messages, 1u);
   EXPECT_EQ(r.delivered, 1u);
   // The doomed message is failed up front, not stalled to max_cycles.
@@ -138,6 +141,7 @@ TEST(SimFaults, PermanentFaultCascadesToDependents) {
   net.add_message(CubePath{2, 3}, static_cast<i64>(first));
   SimResult r = net.run();
   EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.consistent());
   EXPECT_EQ(r.failed_messages, 2u);
   EXPECT_EQ(r.delivered, 0u);
 }
@@ -158,6 +162,7 @@ TEST(SimFaults, TransientDropsDelayButComplete) {
   faults.set_transient(0.05, 7);
   const SimResult faulty = run_with(&faults);
   EXPECT_TRUE(faulty.completed);
+  EXPECT_TRUE(faulty.consistent());
   EXPECT_EQ(faulty.delivered, faulty.messages);
   EXPECT_GT(faulty.dropped_flits, 0u);
   EXPECT_GE(faulty.cycles, clean.cycles);
@@ -195,6 +200,7 @@ TEST(SimFaults, RetryExhaustionFailsMessages) {
     net.add_message(Hypercube::ecube_path(v, v ^ 15));
   SimResult r = net.run();
   EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.consistent());
   EXPECT_GT(r.failed_messages, 0u);
   EXPECT_EQ(r.delivered + r.failed_messages, r.messages);
   EXPECT_LT(r.cycles, cfg.max_cycles);

@@ -69,6 +69,7 @@ TEST(Network, GrayStencilIsContentionLight) {
   // one message; everything lands in one cycle.
   GrayEmbedding emb{Mesh(Shape{8, 8})};
   SimResult r = simulate_stencil(emb);
+  EXPECT_TRUE(r.consistent());
   EXPECT_EQ(r.max_route_len, 1u);
   EXPECT_EQ(r.cycles, 1u);
   EXPECT_EQ(r.messages, 2u * emb.guest().num_edges());
@@ -80,6 +81,7 @@ TEST(Network, DirectTableStencilRespectsCongestionBound) {
   auto emb = direct_embedding(Shape{7, 9});
   ASSERT_TRUE(emb.has_value());
   SimResult r = simulate_stencil(**emb);
+  EXPECT_TRUE(r.consistent());
   EXPECT_EQ(r.max_route_len, 2u);
   EXPECT_GE(r.cycles, r.lower_bound());
   EXPECT_LE(r.cycles, 4 * r.lower_bound());

@@ -1,0 +1,102 @@
+// Structured trace spans: recording, RAII nesting and the Chrome
+// trace_event JSON export.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hj::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::global().clear();
+#ifndef HJ_DISABLE_OBS
+    was_ = enabled();
+    set_enabled(true);
+#endif
+  }
+  void TearDown() override {
+#ifndef HJ_DISABLE_OBS
+    set_enabled(was_);
+#endif
+    Trace::global().clear();
+  }
+  bool was_ = false;
+};
+
+#ifndef HJ_DISABLE_OBS
+
+TEST_F(TraceTest, SpanGuardRecordsCompleteEvent) {
+  {
+    HJ_SPAN("outer");
+  }
+  ASSERT_EQ(Trace::global().size(), 1u);
+  const std::string js = Trace::global().to_json();
+  EXPECT_NE(js.find("\"name\": \"outer\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpansContainEachOther) {
+  {
+    HJ_SPAN("parent");
+    {
+      HJ_SPAN_N("child", 42);
+    }
+  }
+  // Children close (and record) before parents: child is event 0.
+  ASSERT_EQ(Trace::global().size(), 2u);
+  const std::string js = Trace::global().to_json();
+  const auto child = js.find("\"name\": \"child\"");
+  const auto parent = js.find("\"name\": \"parent\"");
+  ASSERT_NE(child, std::string::npos);
+  ASSERT_NE(parent, std::string::npos);
+  EXPECT_LT(child, parent);
+  EXPECT_NE(js.find("\"args\": {\"n\": 42}"), std::string::npos) << js;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  {
+    HJ_SPAN("ghost");
+    HJ_SPAN_N("ghost_n", 1);
+  }
+  EXPECT_EQ(Trace::global().size(), 0u);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheLog) {
+  { HJ_SPAN("gone"); }
+  ASSERT_GT(Trace::global().size(), 0u);
+  Trace::global().clear();
+  EXPECT_EQ(Trace::global().size(), 0u);
+  EXPECT_NE(Trace::global().to_json().find("\"traceEvents\": []"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEscapesNames) {
+  TraceEvent e;
+  e.name = "a \"quoted\" \\ name";
+  e.ts_us = 1;
+  e.dur_us = 2;
+  Trace::global().record(std::move(e));
+  const std::string js = Trace::global().to_json();
+  EXPECT_NE(js.find("a \\\"quoted\\\" \\\\ name"), std::string::npos) << js;
+}
+
+#else  // HJ_DISABLE_OBS
+
+TEST_F(TraceTest, MacrosCompileToNothing) {
+  HJ_SPAN("noop");
+  HJ_SPAN_N("noop_n", 3);
+  EXPECT_EQ(Trace::global().size(), 0u);
+}
+
+#endif
+
+}  // namespace
+}  // namespace hj::obs

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema validator for the line-delimited BENCH_*.json artifacts.
+
+Usage: check_bench.py FILE [FILE ...]
+
+Checks, per file (schema chosen by basename):
+  * every line parses as a JSON object
+  * every required key is present, with finite numbers (no NaN/inf)
+  * run ids are monotone:
+      - BENCH_parallel*: within each workload, the thread counts of the
+        timed rows are strictly increasing (size resets the sequence)
+      - BENCH_recovery*: trials are non-decreasing per (shape, mode), and
+        epoch rows count 0, 1, 2, ... between summary rows
+
+Exits 1 on the first file with violations; prints every violation found.
+"""
+import json
+import math
+import sys
+
+PARALLEL_KEYS = {
+    "exp": str, "workload": str, "size": int, "threads": int,
+    "seconds": (int, float), "speedup": (int, float), "identical": bool,
+}
+RECOVERY_COMMON = {"shape": str, "trial": int, "mode": str, "row": str}
+RECOVERY_EPOCH = {
+    "epoch": int, "arrival_cycle": int, "detect_cycle": int,
+    "detect_latency": int, "fault": str, "rung": str, "moved_nodes": int,
+    "migration_cost": int, "dilation": int, "congestion": int,
+}
+RECOVERY_RUN = {
+    "ok": bool, "cycles": int, "messages": int, "delivered": int,
+    "failed": int, "epochs": int, "repairs": int,
+    "total_migration_cost": int, "final_dilation": int,
+    "final_congestion": int, "final_load": int,
+}
+# Registry-sourced columns added to run rows; optional so historical
+# artifacts generated before the observability layer still validate.
+RECOVERY_RUN_OPTIONAL = {
+    "reroute_us": int, "migrate_us": int, "replan_us": int,
+    "rung_attempts": int, "rung_certified": int,
+}
+
+
+def check_types(row, schema, errors, where, required=True):
+    for key, types in schema.items():
+        if key not in row:
+            if required:
+                errors.append(f"{where}: missing key '{key}'")
+            continue
+        value = row[key]
+        # bool is an int subclass in Python; keep the kinds separate.
+        if types is int and isinstance(value, bool):
+            errors.append(f"{where}: '{key}' should be an integer")
+        elif not isinstance(value, types):
+            errors.append(f"{where}: '{key}' has type "
+                          f"{type(value).__name__}")
+        elif isinstance(value, float) and not math.isfinite(value):
+            errors.append(f"{where}: '{key}' is not finite")
+
+
+def check_parallel(rows, errors):
+    last = {}  # workload -> (size, threads)
+    for lineno, row in rows:
+        where = f"line {lineno}"
+        check_types(row, PARALLEL_KEYS, errors, where)
+        if not all(k in row for k in ("workload", "size", "threads")):
+            continue
+        key = row["workload"]
+        prev = last.get(key)
+        if prev is not None:
+            size, threads = prev
+            if (row["size"], row["threads"]) <= (size, threads):
+                errors.append(
+                    f"{where}: {key} run ids not monotone: "
+                    f"size/threads {row['size']}/{row['threads']} after "
+                    f"{size}/{threads}")
+        last[key] = (row["size"], row["threads"])
+
+
+def check_recovery(rows, errors):
+    trial = {}  # (shape, mode) -> last trial
+    epoch = {}  # (shape, mode) -> expected next epoch id
+    for lineno, row in rows:
+        where = f"line {lineno}"
+        check_types(row, RECOVERY_COMMON, errors, where)
+        if not all(k in row for k in RECOVERY_COMMON):
+            continue
+        key = (row["shape"], row["mode"])
+        if row["row"] == "epoch":
+            check_types(row, RECOVERY_EPOCH, errors, where)
+            expected = epoch.get(key, 0)
+            if row.get("epoch") != expected:
+                errors.append(f"{where}: epoch {row.get('epoch')} for "
+                              f"{key}, expected {expected}")
+            epoch[key] = expected + 1
+        elif row["row"] == "run":
+            check_types(row, RECOVERY_RUN, errors, where)
+            check_types(row, RECOVERY_RUN_OPTIONAL, errors, where,
+                        required=False)
+            epoch[key] = 0  # next trial's epochs restart at 0
+        else:
+            errors.append(f"{where}: unknown row type '{row['row']}'")
+        if key in trial and row["trial"] < trial[key]:
+            errors.append(f"{where}: trial went backwards for {key}")
+        trial[key] = row["trial"]
+
+
+def check_file(path):
+    errors = []
+    rows = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {lineno}: invalid JSON ({e})")
+                continue
+            if not isinstance(row, dict):
+                errors.append(f"line {lineno}: not a JSON object")
+                continue
+            rows.append((lineno, row))
+    if not rows:
+        errors.append("no rows")
+
+    name = path.rsplit("/", 1)[-1]
+    if name.startswith("BENCH_parallel"):
+        check_parallel(rows, errors)
+    elif name.startswith("BENCH_recovery"):
+        check_recovery(rows, errors)
+    else:
+        errors.append(f"no schema for '{name}' "
+                      "(expected BENCH_parallel* or BENCH_recovery*)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
