@@ -9,6 +9,8 @@
 //   hj_embed sweep 9                   Figure 2 coverage sweep for 2^n
 //   hj_embed sim 9 13                  stencil-exchange simulation
 //   hj_embed recover 3 3 7             live run with mid-run fault arrivals
+//   hj_embed storm 3 3 7               live run under a generated fault
+//                                      storm (--storm=<spec> to shape it)
 //   hj_embed stats [max_axis] [n]      observability demo: plan/simulate a
 //                                      seeded workload, print the registry
 //
@@ -22,6 +24,12 @@
 // <b>") against a live stencil run, repairing via the escalation ladder
 // (reroute / migrate / replan) and printing the RecoveryLog as JSON.
 // Without a schedule file it generates a small seeded one.
+//
+// The storm command does the same under a generated correlated failure
+// storm (regional / cascading / bursty arrivals plus optional flapping
+// links; see parse_storm_spec for the --storm=<spec> keys). Both end in
+// a one-line verdict — certified, degraded, or failed — and exit 0 only
+// when the run is certified (usage errors still exit 2).
 //
 // --threads=N (anywhere on the line) sets the worker count of the
 // parallel batch engine used by plan, verify and sweep; the default
@@ -46,6 +54,7 @@
 #include "core/planner.hpp"
 #include "hypersim/live.hpp"
 #include "hypersim/network.hpp"
+#include "hypersim/storm.hpp"
 #include "manytoone/manytoone.hpp"
 #include "obs/obs.hpp"
 #include "search/provider.hpp"
@@ -59,6 +68,7 @@ sim::FaultModel g_faults;
 bool g_have_faults = false;
 sim::FaultSchedule g_schedule;
 bool g_have_schedule = false;
+std::string g_storm_spec;
 std::string g_metrics_out;
 std::string g_trace_out;
 
@@ -76,6 +86,7 @@ void print_usage(const char* argv0) {
       "  sweep <n>                  Figure 2 coverage sweep for 2^n\n"
       "  sim l1 [l2 ...]            stencil-exchange simulation\n"
       "  recover l1 [l2 ...]        live run with mid-run fault arrivals\n"
+      "  storm l1 [l2 ...]          live run under a generated fault storm\n"
       "  stats [max_axis] [n]       plan/simulate a seeded workload, print\n"
       "                             the metrics registry summary\n"
       "\n"
@@ -83,6 +94,8 @@ void print_usage(const char* argv0) {
       "  --threads=N                parallel engine worker count\n"
       "  --faults=<spec>            inject faults (node=5,link=3-7,p=0.01)\n"
       "  --fault-schedule=<file>    timed fault arrivals for recover\n"
+      "  --storm=<spec>             storm shape for the storm command\n"
+      "                             (kind=regional,events=200,seed=7,...)\n"
       "  --metrics-out=<file>       write the metrics registry as JSON\n"
       "  --trace-out=<file>         write spans as Chrome trace JSON\n",
       argv0);
@@ -228,6 +241,25 @@ int cmd_sim(int argc, char** argv) {
   return 0;
 }
 
+/// The one-line verdict both live commands end with, and the exit-code
+/// policy: 0 only for a certified run (2 stays reserved for usage
+/// errors, which never reach this point).
+int finish_live_run(const sim::LiveRunResult& live) {
+  std::printf("%s", sim::recovery_log_json(live).c_str());
+  std::printf("verdict: %s (%llu/%llu delivered, %llu epochs",
+              sim::verdict_name(live.verdict),
+              static_cast<unsigned long long>(live.delivered),
+              static_cast<unsigned long long>(live.messages),
+              static_cast<unsigned long long>(live.epochs));
+  if (!live.uncovered.empty())
+    std::printf(", %llu uncovered nodes",
+                static_cast<unsigned long long>(live.uncovered.size()));
+  if (!live.witness.empty())
+    std::printf("; %s", live.witness.c_str());
+  std::printf(")\n");
+  return live.verdict == sim::Verdict::Certified ? 0 : 1;
+}
+
 int cmd_recover(int argc, char** argv) {
   PlanResult r = plan_mesh(parse_shape(argc, argv, 2));
   sim::FaultSchedule schedule = g_schedule;
@@ -244,8 +276,35 @@ int cmd_recover(int argc, char** argv) {
   opts.recovery.degrade_provider = m2o::make_degrade_provider();
   const sim::LiveRunResult live =
       sim::run_stencil_with_recovery(r.embedding, schedule, opts);
-  std::printf("%s", sim::recovery_log_json(live).c_str());
-  return live.ok ? 0 : 1;
+  return finish_live_run(live);
+}
+
+int cmd_storm(int argc, char** argv) {
+  PlanResult r = plan_mesh(parse_shape(argc, argv, 2));
+  // A gentle default storm when no --storm= was given: regional, a few
+  // dozen arrivals, one flapping link — enough to show every mechanism.
+  sim::StormSpec spec = sim::parse_storm_spec(
+      g_storm_spec.empty() ? "events=24,flap=1" : g_storm_spec,
+      r.embedding->host_dim());
+  const sim::Storm storm = sim::StormGenerator(spec).generate();
+  std::printf("storm: kind=%s arrivals=%u (%u node, %u link, %u dropped) "
+              "flapping=%llu span=%llu cycles\n",
+              sim::storm_kind_name(spec.kind),
+              storm.stats.node_events + storm.stats.link_events,
+              storm.stats.node_events, storm.stats.link_events,
+              storm.stats.dropped_events,
+              static_cast<unsigned long long>(storm.flapping.size()),
+              static_cast<unsigned long long>(storm.stats.span_cycles));
+  sim::FaultModel faults = g_have_faults ? g_faults : sim::FaultModel{};
+  storm.install_flapping(faults);
+  sim::LiveOptions opts;
+  opts.sim.message_flits = 4;
+  opts.sim.faults = &faults;
+  opts.recovery.direct_provider = search::make_search_provider();
+  opts.recovery.degrade_provider = m2o::make_degrade_provider();
+  const sim::LiveRunResult live =
+      sim::run_stencil_with_recovery(r.embedding, storm.schedule, opts);
+  return finish_live_run(live);
 }
 
 int cmd_stats(int argc, char** argv) {
@@ -339,6 +398,8 @@ int main(int argc, char** argv) {
       } else if (std::strncmp(argv[i], "--fault-schedule=", 17) == 0) {
         g_schedule = sim::FaultSchedule::load(argv[i] + 17);
         g_have_schedule = true;
+      } else if (std::strncmp(argv[i], "--storm=", 8) == 0) {
+        g_storm_spec = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -363,6 +424,7 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "sim") rc = cmd_sim(argc, argv);
     else if (cmd == "recover") rc = cmd_recover(argc, argv);
+    else if (cmd == "storm") rc = cmd_storm(argc, argv);
     else if (cmd == "stats") rc = cmd_stats(argc, argv);
     if (rc < 0) {
       std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());

@@ -31,6 +31,20 @@ class FaultSet {
     links_.insert(Hypercube::edge_key(a, b));
   }
 
+  /// Remove a previously failed link (endpoint node failures are
+  /// untouched). Exists for the quarantine layer: a suspected-transient
+  /// link conservatively quarantined as permanent may later be probed
+  /// and returned to service (live-run LRU un-quarantine), which is only
+  /// sound for links *this* process quarantined — never for diagnosed
+  /// ground-truth failures.
+  void heal_link(CubeNode a, CubeNode b) {
+    require(Hypercube::adjacent(a, b),
+            "FaultSet::heal_link: %llu and %llu are not cube-adjacent",
+            static_cast<unsigned long long>(a),
+            static_cast<unsigned long long>(b));
+    links_.erase(Hypercube::edge_key(a, b));
+  }
+
   [[nodiscard]] bool node_failed(CubeNode v) const {
     return nodes_.count(v) != 0;
   }

@@ -80,6 +80,16 @@ std::vector<CubeNode> candidates_at_radius(CubeNode v, u32 n, u32 r) {
   }
 }
 
+/// Healthy host count of Q_n under `faults` (failed addresses outside
+/// the cube do not count against it).
+u64 healthy_hosts(const FaultSet& faults, u32 n) {
+  const u64 total = u64{1} << n;
+  u64 dead = 0;
+  for (const CubeNode v : faults.failed_nodes())
+    if (v < total) ++dead;
+  return total - dead;
+}
+
 u64 count_moves(const Embedding& from, const Embedding& to, u64& cost) {
   u64 moved = 0;
   cost = 0;
@@ -110,10 +120,35 @@ RecoveryController::RecoveryController(Shape shape, RecoveryOptions opts)
   require(opts_.detour_budget >= 1,
           "RecoveryController: detour_budget must be >= 1 (a zero budget "
           "cannot route around anything)");
+  require(opts_.budget_per_epoch == 0 ||
+              opts_.budget_cap >= opts_.budget_per_epoch,
+          "RecoveryController: budget_cap (%u) must cover at least one "
+          "epoch's replenishment (budget_per_epoch %u)",
+          opts_.budget_cap, opts_.budget_per_epoch);
+  // Standalone (non-epoch-driven) callers start with a full bank; the
+  // live driver replenishes per epoch via start_epoch().
+  budget_ = opts_.budget_cap;
   if (opts_.direct_provider)
     planner_.set_direct_provider(opts_.direct_provider);
   if (opts_.degrade_provider)
     planner_.set_degrade_provider(opts_.degrade_provider);
+}
+
+void RecoveryController::start_epoch() {
+  if (opts_.budget_per_epoch == 0) return;
+  budget_ = std::min(opts_.budget_cap, budget_ + opts_.budget_per_epoch);
+}
+
+bool RecoveryController::rung_enabled(u32 idx) {
+  if (opts_.rung_retry_cap == 0 ||
+      rung_failures_[idx] < opts_.rung_retry_cap)
+    return true;
+  // Over the cap: probe every 4th skipped call so a network healed by
+  // quarantine eviction can re-enable the cheap rung.
+  if (++rung_skips_[idx] % 4 == 0) return true;
+  if (obs::enabled())
+    obs::Registry::global().counter("recovery.rung_skips").add();
+  return false;
 }
 
 void RecoveryController::set_shared_cache(ShardedPlanCache* cache) {
@@ -248,12 +283,51 @@ RepairResult RecoveryController::repair(const Embedding& current,
           "the controller shape %s",
           current.guest().shape().to_string().c_str(),
           shape_.to_string().c_str());
-  const u32 budget = baseline_dilation + opts_.max_dilation_increase;
+  const u32 dilation_budget =
+      baseline_dilation + opts_.max_dilation_increase;
   HJ_SPAN("recovery.repair");
+
+  // Backoff budget: the attempt's charge doubles with every consecutive
+  // failure, so hopeless repair sequences price themselves out instead
+  // of thrashing to the caller's epoch cap.
+  if (opts_.budget_per_epoch > 0) {
+    const u32 charge = u32{1} << std::min(consecutive_failures_, 5u);
+    if (charge > budget_) {
+      RepairResult out;
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "repair budget exhausted (charge %u > remaining %u "
+                    "after %u consecutive failures)",
+                    charge, budget_, consecutive_failures_);
+      out.desc = buf;
+      out.budget_exhausted = true;
+      if (obs::enabled())
+        obs::Registry::global().counter("recovery.budget_exhausted").add();
+      return out;
+    }
+    budget_ -= charge;
+    if (obs::enabled())
+      obs::Registry::global().counter("recovery.budget_charged").add(charge);
+  }
+
   // Which rung the ladder ultimately handed back (certified outcomes
   // only); distinct from <rung>.certified, which also counts the losing
-  // candidate when migrate and replan both succeed.
-  auto chosen = [](RepairResult r) {
+  // candidate when migrate and replan both succeed. finish() also
+  // settles the backoff and per-rung retry state.
+  auto finish = [&](RepairResult r) {
+    if (r.ok) {
+      consecutive_failures_ = 0;
+      rung_failures_[0] = rung_failures_[1] = 0;
+      rung_skips_[0] = rung_skips_[1] = 0;
+    } else {
+      ++consecutive_failures_;
+      if (r.witness.empty())
+        if (auto w = impossibility_witness(shape_, faults,
+                                           current.host_dim()))
+          r.witness = *w;
+      if (!r.witness.empty() && obs::enabled())
+        obs::Registry::global().counter("recovery.witness").add();
+    }
     if (obs::enabled()) {
       auto& reg = obs::Registry::global();
       reg.counter("recovery.repairs").add();
@@ -264,29 +338,102 @@ RepairResult RecoveryController::repair(const Embedding& current,
     return r;
   };
 
+  // Pigeonhole pre-check (O(|failed nodes|)): with fewer healthy hosts
+  // than guest nodes, no one-to-one rung can possibly certify — go
+  // straight to replan, whose degrade provider (if any) is the only
+  // option left. This is the "know when repair is provably impossible"
+  // contract: the ladder is not burned through on a hopeless shape.
+  const bool one_to_one_possible =
+      shape_.num_nodes() <= healthy_hosts(faults, current.host_dim());
+
   // Rungs (a)/(b) patch an explicit placement; a many-to-one embedding
   // (load factor > 1) has no such placement to patch — replan directly.
   const bool local_repair_possible =
-      !opts_.force_replan && current.one_to_one();
+      !opts_.force_replan && current.one_to_one() && one_to_one_possible;
 
   if (local_repair_possible) {
     // (a) costs zero migration: if it certifies, nothing can beat it.
-    RepairResult a = try_reroute(current, faults, budget);
-    if (a.ok) return chosen(std::move(a));
+    if (rung_enabled(0)) {
+      RepairResult a = try_reroute(current, faults, dilation_budget);
+      if (a.ok) return finish(std::move(a));
+      ++rung_failures_[0];
+    }
 
-    RepairResult b = try_migrate(current, faults, budget, factor_inner_dim);
+    RepairResult b;
+    if (rung_enabled(1)) {
+      b = try_migrate(current, faults, dilation_budget, factor_inner_dim);
+      if (!b.ok) ++rung_failures_[1];
+    }
     RepairResult c = try_replan(current, faults);
     if (b.ok && (!c.ok || b.migration_cost <= c.migration_cost))
-      return chosen(std::move(b));
-    return chosen(std::move(c));
+      return finish(std::move(b));
+    return finish(std::move(c));
   }
-  return chosen(try_replan(current, faults));
+  return finish(try_replan(current, faults));
 }
 
 u32 inner_factor_dim(const Embedding& emb) {
   if (const auto* p = dynamic_cast<const MeshProductEmbedding*>(&emb))
     return p->inner().host_dim();
   return 0;
+}
+
+std::optional<std::string> impossibility_witness(const Shape& shape,
+                                                 const FaultSet& faults,
+                                                 u32 host_dim) {
+  const u64 guest = shape.num_nodes();
+  const u64 healthy = healthy_hosts(faults, host_dim);
+  char buf[192];
+  if (guest > healthy) {
+    std::snprintf(buf, sizeof buf,
+                  "pigeonhole: guest %s has %llu nodes but only %llu of "
+                  "%llu hosts are healthy — no one-to-one embedding "
+                  "exists (load factor >= %llu is forced)",
+                  shape.to_string().c_str(),
+                  static_cast<unsigned long long>(guest),
+                  static_cast<unsigned long long>(healthy),
+                  static_cast<unsigned long long>(u64{1} << host_dim),
+                  static_cast<unsigned long long>(
+                      healthy ? (guest + healthy - 1) / healthy : guest));
+    return std::string(buf);
+  }
+  // Isolation witness: a mesh is connected, and every certified edge
+  // path stays on healthy hardware, so all guest images must share one
+  // healthy connected component. BFS the healthy subgraph; bounded to
+  // cubes small enough that the sweep stays trivial next to a replan.
+  if (host_dim > 16 || faults.empty()) return std::nullopt;
+  const u64 total = u64{1} << host_dim;
+  std::vector<u8> seen(total, 0);
+  std::vector<CubeNode> stack;
+  u64 largest = 0;
+  for (CubeNode start = 0; start < total; ++start) {
+    if (seen[start] || faults.node_failed(start)) continue;
+    u64 size = 0;
+    seen[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const CubeNode v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (u32 bit = 0; bit < host_dim; ++bit) {
+        const CubeNode w = v ^ (u64{1} << bit);
+        if (seen[w] || faults.node_failed(w) || faults.link_failed(v, w))
+          continue;
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+    largest = std::max(largest, size);
+    if (largest >= guest) return std::nullopt;  // big enough: no witness
+  }
+  std::snprintf(buf, sizeof buf,
+                "isolation: the largest healthy connected component of "
+                "Q%u has %llu nodes < guest %s's %llu — no connected "
+                "one-to-one embedding exists",
+                host_dim, static_cast<unsigned long long>(largest),
+                shape.to_string().c_str(),
+                static_cast<unsigned long long>(guest));
+  return std::string(buf);
 }
 
 }  // namespace hj::recovery

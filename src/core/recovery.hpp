@@ -25,7 +25,36 @@
 // cube adds an even number of hops, so an uncontrolled detour chain can
 // silently double dilation — the budget forces escalation instead). The
 // controller picks the cheapest certified rung by migration cost.
+//
+// Sustained pressure (fault storms, DESIGN §10) adds guard rails:
+//
+//   * Repair budget with exponential backoff. Each repair() call is
+//     charged 2^min(consecutive_failures, 5) units against a budget that
+//     start_epoch() replenishes by `budget_per_epoch` (capped at
+//     `budget_cap`). Successful repairs cost one unit; a hopeless shape
+//     that keeps failing sees its charges double until the budget cannot
+//     cover the next attempt, and repair() then refuses up front
+//     (RepairResult::budget_exhausted) instead of thrashing the ladder
+//     for the rest of the run.
+//   * Rung-level retry caps. A rung that failed `rung_retry_cap` times
+//     in a row is skipped (its failure mode — no spare in radius, a host
+//     node dead under a guest — rarely changes between consecutive
+//     storms' epochs), but probed again every 4th skipped call so a
+//     network healed by quarantine eviction can re-enable the cheap
+//     rungs. Replan is never skipped: it is the rung of last resort.
+//   * Impossibility witnesses. When the fault set provably admits no
+//     certified one-to-one repair (pigeonhole: more guest nodes than
+//     healthy hosts; or isolation: the largest healthy connected
+//     component is too small), the controller skips the one-to-one rungs
+//     outright and, if replan also fails, reports the witness so the
+//     caller can degrade gracefully instead of retrying forever.
+//
+// All of this state is a pure function of the repair() call sequence, so
+// controller behaviour — and with it the RecoveryLog — stays bit-identical
+// at every thread count.
 #pragma once
+
+#include <optional>
 
 #include "core/planner.hpp"
 
@@ -46,6 +75,16 @@ struct RecoveryOptions {
   u32 max_migration_radius = 3;
   /// Skip rungs (a)/(b) and always replan — the bench baseline.
   bool force_replan = false;
+  /// Repair-pressure budget (see the class comment): units replenished
+  /// per start_epoch(). 0 disables the budget entirely (unit-test and
+  /// one-shot callers); the live-run driver leaves it on.
+  u32 budget_per_epoch = 4;
+  /// Ceiling on accumulated budget units, so a long quiet stretch cannot
+  /// bank enough budget to thrash through a later storm.
+  u32 budget_cap = 32;
+  /// Consecutive uncertified attempts of rung (a)/(b) before that rung
+  /// is skipped (probed again every 4th skip). 0 = never skip.
+  u32 rung_retry_cap = 3;
   /// Providers handed to the internal planner for rung (c).
   DirectProvider direct_provider;
   DegradeProvider degrade_provider;
@@ -64,6 +103,15 @@ struct RepairResult {
   u64 migration_cost = 0;
   /// Human-readable repair derivation, e.g. "migrate(2 nodes, cost 3)".
   std::string desc;
+  /// True when repair() refused to attempt anything because the backoff
+  /// budget could not cover the next charge; the caller should stop
+  /// retrying (declare the run degraded) rather than call again.
+  bool budget_exhausted = false;
+  /// Set on failure when the fault set provably admits no certified
+  /// one-to-one repair (pigeonhole / isolation; see
+  /// impossibility_witness) — the lower-bound evidence behind a
+  /// Degraded verdict.
+  std::string witness;
 };
 
 /// Repairs embeddings of one mesh shape. Not thread-safe (owns a
@@ -88,7 +136,22 @@ class RecoveryController {
                                     u32 baseline_dilation,
                                     u32 factor_inner_dim = 0);
 
+  /// Replenish the backoff budget by budget_per_epoch (up to budget_cap).
+  /// Epoch-driven callers (the live run) call this once per epoch; a
+  /// controller that is never replenished has budget_cap to spend.
+  void start_epoch();
+
+  /// Units currently available to spend on repair attempts (meaningful
+  /// only when budget_per_epoch > 0).
+  [[nodiscard]] u32 budget_remaining() const noexcept { return budget_; }
+  /// Consecutive repair() failures since the last certified repair (the
+  /// exponent of the next attempt's charge).
+  [[nodiscard]] u32 consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
  private:
+  [[nodiscard]] bool rung_enabled(u32 idx);  // 0 = reroute, 1 = migrate
   [[nodiscard]] RepairResult try_reroute(const Embedding& current,
                                          const FaultSet& faults,
                                          u32 dilation_budget);
@@ -102,6 +165,12 @@ class RecoveryController {
   Shape shape_;
   RecoveryOptions opts_;
   Planner planner_;
+  // Storm guard-rail state (deterministic: a pure function of the
+  // repair() call sequence).
+  u32 budget_ = 0;
+  u32 consecutive_failures_ = 0;
+  u32 rung_failures_[2] = {0, 0};  // consecutive, per skippable rung
+  u32 rung_skips_[2] = {0, 0};
 };
 
 /// Host-bit width of the inner factor when `emb` is a product plan
@@ -109,5 +178,19 @@ class RecoveryController {
 /// repair: repaired embeddings are materialized (ExplicitEmbedding) and
 /// no longer expose their factor structure.
 [[nodiscard]] u32 inner_factor_dim(const Embedding& emb);
+
+/// A proof that no certified one-to-one repair of `shape` into the
+/// faulted Q_{host_dim} can exist, or nullopt when no such proof is
+/// found. Two witnesses, in increasing cost:
+///   * pigeonhole — the guest has more nodes than healthy hosts (O(F));
+///   * isolation  — every edge path of a connected guest must stay
+///     inside one healthy connected component, and the largest healthy
+///     component is smaller than the guest (BFS over the cube; only
+///     attempted for host_dim <= 16).
+/// A witness rules out rungs (a)/(b) and any one-to-one replan; only a
+/// many-to-one contraction (degrade provider) could still serve, at a
+/// load factor the witness quantifies.
+[[nodiscard]] std::optional<std::string> impossibility_witness(
+    const Shape& shape, const FaultSet& faults, u32 host_dim);
 
 }  // namespace hj::recovery

@@ -99,6 +99,17 @@ std::string FaultEvent::to_string() const {
 }
 
 void FaultSchedule::insert(FaultEvent e) {
+  // Validate on construction: apply_until and diagnose assume a sorted,
+  // de-duplicated sequence, and hardware dies exactly once — a second
+  // arrival for the same node or link (at any cycle) is a schedule bug,
+  // not a new fault.
+  for (const FaultEvent& x : events_)
+    require(!(x.is_node == e.is_node && x.a == e.a && x.b == e.b),
+            "FaultSchedule: duplicate arrival for %s (already fails at "
+            "cycle %llu, re-added at cycle %llu)",
+            e.to_string().c_str(),
+            static_cast<unsigned long long>(x.cycle),
+            static_cast<unsigned long long>(e.cycle));
   const auto pos = std::upper_bound(events_.begin(), events_.end(), e,
                                     event_less);
   events_.insert(pos, e);

@@ -21,11 +21,27 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/fault.hpp"
 
 namespace hj::sim {
+
+/// One flapping (intermittently dead) undirected link: transmissions on
+/// it fail during the first `down` cycles of every `period`-cycle
+/// window, offset by `phase`. Deterministic — link state is a pure
+/// function of the absolute cycle — so a flapping link exercises the
+/// quarantine / un-quarantine probe loop reproducibly: it trips the
+/// detection layer while down, serves traffic again once probed back in
+/// while up, and re-trips on the next down window.
+struct FlapSpec {
+  CubeNode a = 0;
+  CubeNode b = 0;
+  u64 period = 32;
+  u64 down = 8;
+  u64 phase = 0;
+};
 
 /// Permanent failed nodes/links plus seeded transient link faults.
 class FaultModel {
@@ -57,6 +73,39 @@ class FaultModel {
   [[nodiscard]] u64 seed() const noexcept { return seed_; }
   [[nodiscard]] bool has_transient() const noexcept { return threshold_ != 0; }
 
+  /// Register a flapping link (see FlapSpec). Re-registering the same
+  /// link replaces its spec.
+  void add_flapping(const FlapSpec& f) {
+    require(Hypercube::adjacent(f.a, f.b),
+            "FaultModel::add_flapping: %llu-%llu is not a cube link",
+            static_cast<unsigned long long>(f.a),
+            static_cast<unsigned long long>(f.b));
+    require(f.period >= 1 && f.down < f.period,
+            "FaultModel::add_flapping: down window (%llu) must be shorter "
+            "than the period (%llu), or the link is simply dead",
+            static_cast<unsigned long long>(f.down),
+            static_cast<unsigned long long>(f.period));
+    flapping_[Hypercube::edge_key(f.a, f.b)] = f;
+  }
+
+  [[nodiscard]] bool has_flapping() const noexcept {
+    return !flapping_.empty();
+  }
+  [[nodiscard]] std::size_t num_flapping() const noexcept {
+    return flapping_.size();
+  }
+
+  /// True iff the undirected link between adjacent `x` and `y` is in a
+  /// down window at `cycle`. Pure function of (spec, cycle).
+  [[nodiscard]] bool flapping_down(u64 cycle, CubeNode x,
+                                   CubeNode y) const noexcept {
+    if (flapping_.empty()) return false;
+    const auto it = flapping_.find(Hypercube::edge_key(x, y));
+    if (it == flapping_.end()) return false;
+    const FlapSpec& f = it->second;
+    return (cycle + f.phase) % f.period < f.down;
+  }
+
   /// True iff the directed link `link_id` drops transmissions in `cycle`.
   /// Pure function of (seed, cycle, link_id): deterministic and order-free.
   [[nodiscard]] bool drops(u64 cycle, u64 link_id) const noexcept {
@@ -80,6 +129,7 @@ class FaultModel {
   double drop_p_ = 0.0;
   u64 seed_ = 0;
   u64 threshold_ = 0;
+  std::unordered_map<u64, FlapSpec> flapping_;  // Hypercube::edge_key
 };
 
 /// One timed permanent-fault arrival: at the start of `cycle`, the node
@@ -101,9 +151,12 @@ struct FaultEvent {
 /// A timed sequence of permanent fault arrivals applied *while a
 /// simulation is running* (the live-recovery scenario: iPSC-era cubes
 /// lost nodes and links mid-computation). Events are kept sorted by
-/// (cycle, node-before-link, address), so a schedule is a canonical,
-/// deterministic object: the same schedule replayed against the same
-/// seed yields the identical simulation, detection trace and RecoveryLog.
+/// (cycle, node-before-link, address) and validated on construction —
+/// each piece of hardware may die at most once, and a duplicate arrival
+/// is rejected with a formatted require() — so a schedule is a
+/// canonical, de-duplicated, deterministic object: the same schedule
+/// replayed against the same seed yields the identical simulation,
+/// detection trace and RecoveryLog.
 class FaultSchedule {
  public:
   FaultSchedule() = default;

@@ -26,6 +26,15 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+const char* verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Certified: return "certified";
+    case Verdict::Degraded: return "degraded";
+    case Verdict::Failed: return "failed";
+  }
+  return "?";
+}
+
 LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
                                         const FaultSchedule& schedule,
                                         const LiveOptions& opts) {
@@ -61,10 +70,17 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
   SimConfig cfg = opts.sim;
   cfg.faults = &faults;
 
+  // Quarantine LRU (see the file comment): canonical endpoint pairs in
+  // least-recently-quarantined-first order. Only links in this list are
+  // ever healed — diagnosed ground-truth faults never enter it.
+  std::vector<std::pair<CubeNode, CubeNode>> quarantine;
+
   u64 now = 0;
-  bool truncated = false;
+  bool hard_truncated = false;  // max_cycles cap: the network is gone
+  bool budget_stop = false;     // controller refused: degrade, don't thrash
   while (result.epochs < opts.max_epochs) {
     HJ_SPAN_N("live.epoch", result.epochs);
+    controller.start_epoch();
     const Embedding& emb = *result.embedding;
     cfg.cube_dim = emb.host_dim();
     CubeNetwork net(cfg);
@@ -92,6 +108,7 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
     const LiveEpochResult epoch = net.run_live(now, schedule);
     now = epoch.end_cycle;
     result.dropped_flits += epoch.dropped_flits;
+    result.deferred_watchdogs += epoch.deferred_watchdogs;
     for (std::size_t m = 0; m < queued.size(); ++m) {
       if (epoch.message_delivered[m]) {
         delivered[queued[m]] = 1;
@@ -99,7 +116,7 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
       }
     }
     if (epoch.truncated) {
-      truncated = true;
+      hard_truncated = true;
       break;
     }
     if (!epoch.detected) {
@@ -128,7 +145,24 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
         entry.arrival_cycle = std::min(entry.arrival_cycle, diag->cycle);
         cause = diag->to_string();
       } else {
+        // Unexplained suspect: quarantine it, under the LRU capacity cap.
+        const auto link = std::minmax(det.from, det.to);
+        const auto pos = std::find(quarantine.begin(), quarantine.end(),
+                                   std::pair(link.first, link.second));
+        if (pos != quarantine.end()) {
+          quarantine.erase(pos);  // re-suspected: refresh to MRU below
+        } else if (opts.quarantine_capacity > 0 &&
+                   quarantine.size() >= opts.quarantine_capacity) {
+          // Probe the coldest quarantined link back into service; a
+          // genuinely bad one re-trips detection and comes straight back.
+          const auto [pa, pb] = quarantine.front();
+          quarantine.erase(quarantine.begin());
+          faults.permanent().heal_link(pa, pb);
+          ++result.quarantine_evictions;
+        }
+        quarantine.emplace_back(link.first, link.second);
         faults.permanent().fail_link(det.from, det.to);
+        ++result.quarantined;
         cause = "quarantine " + std::to_string(det.from) + "-" +
                 std::to_string(det.to);
       }
@@ -143,12 +177,35 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
     }
     entry.detect_latency = entry.detect_cycle - entry.arrival_cycle;
 
+    if (obs::enabled()) {
+      static obs::Histogram& occ =
+          obs::Registry::global().histogram("live.quarantine.occupancy");
+      occ.observe(quarantine.size());
+    }
+
     recovery::RepairResult repair = controller.repair(
         *result.embedding, faults.permanent(), baseline_dilation,
         factor_dim);
     if (!repair.ok) {
-      truncated = true;  // unrepairable: account the rest as failed
-      break;
+      if (!repair.witness.empty()) result.witness = repair.witness;
+      if (repair.budget_exhausted || !repair.witness.empty()) {
+        // Terminal: either the backoff budget priced this repair sequence
+        // out, or the fault set provably admits no certified repair at
+        // all. Stop with an honest Degraded verdict instead of thrashing
+        // the ladder for the rest of the run.
+        if (repair.budget_exhausted) ++result.repairs_denied;
+        if (result.witness.empty()) result.witness = repair.desc;
+        budget_stop = true;
+        break;
+      }
+      // A transiently-failed repair (no impossibility proof) is retried
+      // next epoch: the fault re-trips detection, and the controller's
+      // doubled charge caps how long this can go on.
+      entry.rung = recovery::rung_name(recovery::Rung::None);
+      entry.plan = repair.desc;
+      result.log.push_back(std::move(entry));
+      ++result.epochs;
+      continue;
     }
     entry.rung = recovery::rung_name(repair.rung);
     entry.moved_nodes = repair.moved_nodes;
@@ -170,9 +227,15 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
   std::size_t cursor = 0;
   schedule.apply_until(now, truth, cursor);
   result.report = verify(*result.embedding, truth);
-  if (!truncated && (!result.report.fault_free || !result.report.valid)) {
+  if (!hard_truncated && !budget_stop &&
+      (!result.report.fault_free || !result.report.valid)) {
     recovery::RepairResult repair = controller.repair(
         *result.embedding, truth, baseline_dilation, factor_dim);
+    if (!repair.ok && result.witness.empty())
+      result.witness =
+          !repair.witness.empty()
+              ? repair.witness
+              : repair.budget_exhausted ? repair.desc : std::string{};
     if (repair.ok) {
       RecoveryEpochLog entry;
       entry.arrival_cycle = now;
@@ -201,8 +264,38 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
 
   result.cycles = now;
   result.failed = result.messages - result.delivered;
-  result.ok = !truncated && result.failed == 0 && result.report.valid &&
+  result.ok = !hard_truncated && result.failed == 0 && result.report.valid &&
               result.report.fault_free;
+
+  // Verdict and, for a Degraded run, the uncovered-node report: every
+  // guest node with an undelivered incident message. A Failed verdict is
+  // reserved for runs with nothing trustworthy left — the max_cycles cap
+  // fired (the network is dead beyond diagnosis) or the final embedding
+  // does not even map the guest validly.
+  if (result.ok) {
+    result.verdict = Verdict::Certified;
+  } else if (!hard_truncated && result.report.valid) {
+    result.verdict = Verdict::Degraded;
+    std::vector<u8> covered(base->guest().num_nodes(), 1);
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      if (delivered[i]) continue;
+      covered[traffic[i].from] = 0;
+      covered[traffic[i].to] = 0;
+    }
+    for (MeshIndex v = 0; v < covered.size(); ++v)
+      if (!covered[v]) result.uncovered.push_back(v);
+  } else {
+    result.verdict = Verdict::Failed;
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter(std::string("live.verdict.") + verdict_name(result.verdict))
+        .add();
+    reg.counter("live.quarantined").add(result.quarantined);
+    reg.counter("live.quarantine_evictions").add(result.quarantine_evictions);
+    reg.counter("live.repairs_denied").add(result.repairs_denied);
+    reg.counter("live.deferred_watchdogs").add(result.deferred_watchdogs);
+  }
   return result;
 }
 
@@ -210,12 +303,22 @@ std::string recovery_log_json(const LiveRunResult& r) {
   std::ostringstream os;
   os << "{\n"
      << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n"
+     << "  \"verdict\": \"" << verdict_name(r.verdict) << "\",\n"
      << "  \"cycles\": " << r.cycles << ",\n"
      << "  \"messages\": " << r.messages << ",\n"
      << "  \"delivered\": " << r.delivered << ",\n"
      << "  \"failed\": " << r.failed << ",\n"
      << "  \"dropped_flits\": " << r.dropped_flits << ",\n"
      << "  \"epochs\": " << r.epochs << ",\n"
+     << "  \"quarantined\": " << r.quarantined << ",\n"
+     << "  \"quarantine_evictions\": " << r.quarantine_evictions << ",\n"
+     << "  \"repairs_denied\": " << r.repairs_denied << ",\n"
+     << "  \"deferred_watchdogs\": " << r.deferred_watchdogs << ",\n"
+     << "  \"witness\": \"" << json_escape(r.witness) << "\",\n"
+     << "  \"uncovered\": [";
+  for (std::size_t i = 0; i < r.uncovered.size(); ++i)
+    os << (i ? ", " : "") << r.uncovered[i];
+  os << "],\n"
      << "  \"final\": {\"valid\": " << (r.report.valid ? "true" : "false")
      << ", \"fault_free\": " << (r.report.fault_free ? "true" : "false")
      << ", \"dilation\": " << r.report.dilation

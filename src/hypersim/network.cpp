@@ -172,6 +172,7 @@ SimResult CubeNetwork::run() {
   for (u32 m : roots) release(m, active, release);
 
   const bool transient = faults && faults->has_transient();
+  const bool flapping = faults && faults->has_flapping();
   // Queue-depth proxy, counted unconditionally (one integer increment):
   // transmission attempts deferred because the link's bandwidth was
   // already spent this cycle.
@@ -203,7 +204,9 @@ SimResult CubeNetwork::run() {
           continue;
         }
         ++used;  // a dropped transmission still occupies the link slot
-        if (transient && faults->drops(result.cycles, link)) {
+        if ((flapping &&
+             faults->flapping_down(result.cycles, r[h], r[h + 1])) ||
+            (transient && faults->drops(result.cycles, link))) {
           ++result.dropped_flits;
           if (++retries[m] > config_.max_retries) {
             fail(m, fail);
@@ -276,6 +279,7 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
   const u32 flits = config_.message_flits;
   const FaultModel* faults = config_.faults;
   const bool transient = faults && faults->has_transient();
+  const bool flapping = faults && faults->has_flapping();
 
   u32 max_route_len = 0;
   for (const CubePath& r : routes_)
@@ -302,8 +306,14 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
   std::vector<std::vector<u32>> children(routes_.size());
   std::vector<bool> failed(routes_.size(), false);
   std::vector<u32> retries(routes_.size(), 0);
-  // Watchdog state: local cycle of each message's last flit progress.
+  // Watchdog state: local cycle of each message's last flit progress,
+  // plus — to tell a dead network from a saturated one — how many of the
+  // message's transmission attempts since that progress were outright
+  // *failed* (dead/flapping link, transient drop) versus merely *blocked*
+  // on link bandwidth already spent by other traffic.
   std::vector<u64> last_progress(routes_.size(), 0);
+  std::vector<u64> failed_since(routes_.size(), 0);
+  std::vector<u64> blocked_since(routes_.size(), 0);
   std::vector<u32> active;
   std::vector<u32> roots;
   for (u32 m = 0; m < routes_.size(); ++m) {
@@ -359,11 +369,17 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
         if (!cut_through && upstream < flits) continue;
         const u64 link = link_id(r[h], r[h + 1], dim);
         u32& used = used_this_cycle[link];
-        if (used >= config_.link_bandwidth) continue;
+        if (used >= config_.link_bandwidth) {
+          ++blocked_since[m];
+          continue;
+        }
         ++used;  // a failed transmission still occupies the link slot
-        const bool dead = live.link_failed(r[h], r[h + 1]);
+        const bool dead = live.link_failed(r[h], r[h + 1]) ||
+                          (flapping &&
+                           faults->flapping_down(now, r[h], r[h + 1]));
         if (dead || (transient && faults->drops(now, link))) {
           ++result.dropped_flits;
+          ++failed_since[m];
           u32& streak = consec_failures[link];
           if (++streak == config_.detect_threshold && !suspected[link]) {
             suspected[link] = true;
@@ -381,22 +397,36 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
         progressed = true;
       }
       if (failed[m]) continue;
-      if (progressed) last_progress[m] = executed;
+      if (progressed) {
+        last_progress[m] = executed;
+        failed_since[m] = 0;
+        blocked_since[m] = 0;
+      }
       if (c[hops - 1] < flits) {
         // Watchdog: a message with no flit progress for watchdog_cycles is
         // stuck behind something the failure counters did not catch (e.g.
         // a persistently unlucky transient link whose streaks keep being
-        // broken by other traffic). Promote its stuck hop to suspected.
+        // broken by other traffic). Promote its stuck hop to suspected —
+        // but only when failed transmissions dominate the stall: a stall
+        // made of bandwidth-blocked attempts means the network is
+        // saturated, not dead, and promoting it would make a storm's
+        // congestion trigger bogus repairs. Defer those and re-arm.
         if (executed - last_progress[m] >= config_.watchdog_cycles) {
-          u32 stuck = 0;
-          while (stuck + 1 < hops && c[stuck] >= flits) ++stuck;
-          const u64 link = link_id(r[stuck], r[stuck + 1], dim);
-          if (!suspected[link]) {
-            suspected[link] = true;
-            result.detections.push_back(DetectionEvent{
-                now, r[stuck], r[stuck + 1], consec_failures[link], true});
+          if (failed_since[m] > 0 && failed_since[m] >= blocked_since[m]) {
+            u32 stuck = 0;
+            while (stuck + 1 < hops && c[stuck] >= flits) ++stuck;
+            const u64 link = link_id(r[stuck], r[stuck + 1], dim);
+            if (!suspected[link]) {
+              suspected[link] = true;
+              result.detections.push_back(DetectionEvent{
+                  now, r[stuck], r[stuck + 1], consec_failures[link], true});
+            }
+          } else {
+            ++result.deferred_watchdogs;
           }
-          last_progress[m] = executed;  // one promotion per stall period
+          last_progress[m] = executed;  // one decision per stall period
+          failed_since[m] = 0;
+          blocked_since[m] = 0;
         }
         still_active.push_back(m);
       } else {
@@ -424,6 +454,7 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
     reg.counter("sim.live.detections").add(result.detections.size());
     reg.counter("sim.live.delivered").add(result.delivered);
     reg.counter("sim.live.dropped_flits").add(result.dropped_flits);
+    reg.counter("sim.live.deferred_watchdogs").add(result.deferred_watchdogs);
   }
   routes_.clear();
   deps_.clear();

@@ -54,9 +54,15 @@ struct SimConfig {
   /// below max_retries or messages die before detection can fire.
   u32 detect_threshold = 4;
   /// run_live only: cycles a message may go without any flit progress
-  /// before the watchdog promotes its stuck hop to suspected-permanent.
-  /// Must cover the longest service time of a queued route (validated
-  /// against max_route_len * message_flits when run_live starts).
+  /// before the watchdog considers its stuck hop. Must cover the longest
+  /// service time of a queued route (validated against
+  /// max_route_len * message_flits when run_live starts). The watchdog is
+  /// storm-aware: it promotes the hop to suspected-permanent only when
+  /// the stall is dominated by *failed* transmissions (the network is
+  /// dead there); a stall dominated by bandwidth-blocked attempts means
+  /// the network is merely saturated, and the watchdog defers instead
+  /// (LiveEpochResult::deferred_watchdogs) — a storm must not let
+  /// congestion masquerade as hardware death and trigger repair thrash.
   u64 watchdog_cycles = 4096;
 };
 
@@ -148,6 +154,9 @@ struct LiveEpochResult {
   bool detected = false;
   /// True iff max_cycles elapsed with traffic still pending.
   bool truncated = false;
+  /// Watchdog firings deferred because the stalled message was blocked on
+  /// bandwidth, not failing transmissions (saturated, not dead).
+  u64 deferred_watchdogs = 0;
   std::vector<DetectionEvent> detections;
   /// Per queued message id: fully delivered this epoch? Undelivered
   /// messages are the caller's to retransmit on the repaired embedding.

@@ -1,0 +1,118 @@
+// hjembed: the storm generator — seeded, correlated failure processes
+// for stressing the recovery ladder far past gentle independent drops.
+//
+// Real cube machines did not lose hardware independently: a power rail
+// takes out a physical neighborhood (many addresses inside one Hamming
+// ball), a failing link heats and kills the links next to it (cascades),
+// and arrivals come in bursts, not a Poisson trickle. A StormGenerator
+// turns a StormSpec into exactly that, as a pure function of the seed:
+//
+//   * Regional  — `regions` epicenters; every failure lands inside a
+//     Hamming ball of `region_radius` around one of them (round-robin),
+//     so faults cluster in subcubes the way the product plan's factor
+//     structure is laid out — the worst case for subcube spare search.
+//   * Cascading — each failed link raises the hazard of links adjacent
+//     to previous victims: with probability `cascade_p` the next failure
+//     shares an endpoint with an earlier one, else it strikes fresh.
+//   * Bursty    — addresses are uncorrelated but arrival *times* come in
+//     trains: `burst_size` events `intra_burst_spacing` cycles apart,
+//     bursts `burst_spacing` cycles apart.
+//   * Mixed     — bursts alternate between the regional and cascading
+//     address models.
+//
+// The bursty timing model applies to every kind. On top of the permanent
+// arrivals (a FaultSchedule — validated, sorted, deduplicated), a storm
+// may carry `flapping_links` FlapSpecs: links that die and heal on a
+// deterministic duty cycle, which the live layer must quarantine and
+// probe back into service rather than treat as permanent losses.
+//
+// A `max_fail_fraction` cap bounds the dead fraction of the cube so a
+// storm leaves a machine worth repairing; events that cannot be placed
+// (cap reached, or hardware exhausted) are dropped and counted in
+// StormStats — never silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypersim/fault.hpp"
+
+namespace hj::sim {
+
+enum class StormKind : u8 { Regional, Cascading, Bursty, Mixed };
+
+[[nodiscard]] const char* storm_kind_name(StormKind k) noexcept;
+
+struct StormSpec {
+  u32 cube_dim = 0;
+  StormKind kind = StormKind::Regional;
+  /// Requested permanent arrivals (placed arrivals may be fewer when the
+  /// fail-fraction cap or the hardware runs out; see StormStats).
+  u32 events = 100;
+  /// Share of arrivals that are node deaths (the rest are link cuts).
+  double node_fraction = 0.25;
+  u64 first_cycle = 4;
+  u32 burst_size = 16;
+  u64 burst_spacing = 64;
+  u64 intra_burst_spacing = 1;
+  /// Regional model: epicenter count and Hamming-ball radius.
+  u32 regions = 4;
+  u32 region_radius = 2;
+  /// Cascading model: probability the next failure is adjacent to a
+  /// previous victim.
+  double cascade_p = 0.7;
+  /// Cap on the fraction of nodes (and of links) a storm may kill.
+  double max_fail_fraction = 0.25;
+  /// Flapping links layered on the permanent arrivals.
+  u32 flapping_links = 0;
+  u64 flap_period = 32;
+  u64 flap_down = 8;
+  u64 seed = 1;
+};
+
+struct StormStats {
+  u32 node_events = 0;
+  u32 link_events = 0;
+  /// Requested-but-unplaceable events (fail-fraction cap, or no fresh
+  /// hardware found): events == node_events + link_events + dropped.
+  u32 dropped_events = 0;
+  /// Cycle span from the first arrival to the last.
+  u64 span_cycles = 0;
+};
+
+struct Storm {
+  FaultSchedule schedule;
+  std::vector<FlapSpec> flapping;
+  StormStats stats;
+
+  /// Install every flapping link into `model` (the permanent arrivals
+  /// stay in the schedule — they must *arrive*, not pre-exist).
+  void install_flapping(FaultModel& model) const {
+    for (const FlapSpec& f : flapping) model.add_flapping(f);
+  }
+};
+
+/// Generates storms. Construction validates the spec; generate() is a
+/// pure function of the spec (call it twice, get the identical storm).
+class StormGenerator {
+ public:
+  explicit StormGenerator(StormSpec spec);
+
+  [[nodiscard]] const StormSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] Storm generate() const;
+
+ private:
+  StormSpec spec_;
+};
+
+/// Parse the CLI `--storm=<spec>` format: comma-separated key=value
+/// terms over the StormSpec fields —
+///   kind=regional|cascading|bursty|mixed, events=N, seed=S,
+///   node_frac=F, first=C, burst=N, spacing=C, gap=C, regions=N,
+///   radius=R, cascade_p=F, cap=F, flap=N, flap_period=C, flap_down=C
+/// Unset keys keep their StormSpec defaults; cube_dim is the caller's.
+/// Throws std::invalid_argument naming the offending term.
+[[nodiscard]] StormSpec parse_storm_spec(const std::string& spec,
+                                         u32 cube_dim);
+
+}  // namespace hj::sim

@@ -11,6 +11,10 @@ Checks, per file (schema chosen by basename):
         timed rows are strictly increasing (size resets the sequence)
       - BENCH_recovery*: trials are non-decreasing per (shape, mode), and
         epoch rows count 0, 1, 2, ... between summary rows
+      - BENCH_storm*: every storm row's verdict is one of
+        certified/degraded/failed with consistent delivery accounting,
+        and each survival row's verdict counts sum to its run count and
+        match the storm rows of its (shape, kind, events) cell
 
 Exits 1 on the first file with violations; prints every violation found.
 """
@@ -40,6 +44,21 @@ RECOVERY_RUN_OPTIONAL = {
     "reroute_us": int, "migrate_us": int, "replan_us": int,
     "rung_attempts": int, "rung_certified": int,
 }
+STORM_COMMON = {
+    "row": str, "shape": str, "host_dim": int, "method": str, "kind": str,
+    "events": int,
+}
+STORM_RUN = {
+    "seed": int, "arrivals": int, "flapping": int, "verdict": str,
+    "messages": int, "delivered": int, "failed": int, "epochs": int,
+    "repairs": int, "quarantined": int, "quarantine_evictions": int,
+    "repairs_denied": int, "deferred_watchdogs": int, "uncovered": int,
+    "witness": bool, "cycles": int,
+}
+STORM_SURVIVAL = {
+    "runs": int, "certified": int, "degraded": int, "failed": int,
+}
+VERDICTS = ("certified", "degraded", "failed")
 
 
 def check_types(row, schema, errors, where, required=True):
@@ -106,6 +125,51 @@ def check_recovery(rows, errors):
         trial[key] = row["trial"]
 
 
+def check_storm(rows, errors):
+    # (shape, kind, events) -> verdict tallies of the storm rows seen
+    # since the cell's last survival row.
+    pending = {}
+    for lineno, row in rows:
+        where = f"line {lineno}"
+        check_types(row, STORM_COMMON, errors, where)
+        if not all(k in row for k in STORM_COMMON):
+            continue
+        key = (row["shape"], row["kind"], row["events"])
+        if row["row"] == "storm":
+            check_types(row, STORM_RUN, errors, where)
+            verdict = row.get("verdict")
+            if verdict not in VERDICTS:
+                errors.append(f"{where}: verdict '{verdict}' not in "
+                              f"{VERDICTS}")
+                continue
+            if all(k in row for k in ("messages", "delivered", "failed")):
+                if row["delivered"] + row["failed"] != row["messages"]:
+                    errors.append(f"{where}: delivery accounting broken: "
+                                  f"{row['delivered']} + {row['failed']} "
+                                  f"!= {row['messages']}")
+                if verdict == "certified" and row["failed"] != 0:
+                    errors.append(f"{where}: certified run with "
+                                  f"{row['failed']} failed messages")
+            cell = pending.setdefault(key, dict.fromkeys(VERDICTS, 0))
+            cell[verdict] += 1
+        elif row["row"] == "survival":
+            check_types(row, STORM_SURVIVAL, errors, where)
+            if not all(k in row for k in STORM_SURVIVAL):
+                continue
+            split = {v: row[v] for v in VERDICTS}
+            if sum(split.values()) != row["runs"]:
+                errors.append(f"{where}: verdict counts sum to "
+                              f"{sum(split.values())}, runs={row['runs']}")
+            seen = pending.pop(key, dict.fromkeys(VERDICTS, 0))
+            if split != seen:
+                errors.append(f"{where}: survival split {split} does not "
+                              f"match its cell's storm rows {seen}")
+        else:
+            errors.append(f"{where}: unknown row type '{row['row']}'")
+    for key, cell in pending.items():
+        errors.append(f"storm rows for {key} have no survival row")
+
+
 def check_file(path):
     errors = []
     rows = []
@@ -131,9 +195,11 @@ def check_file(path):
         check_parallel(rows, errors)
     elif name.startswith("BENCH_recovery"):
         check_recovery(rows, errors)
+    elif name.startswith("BENCH_storm"):
+        check_storm(rows, errors)
     else:
-        errors.append(f"no schema for '{name}' "
-                      "(expected BENCH_parallel* or BENCH_recovery*)")
+        errors.append(f"no schema for '{name}' (expected BENCH_parallel*, "
+                      "BENCH_recovery* or BENCH_storm*)")
     return errors
 
 
