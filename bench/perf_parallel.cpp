@@ -5,10 +5,11 @@
 // Emits one JSON row per (workload, thread count) to stdout; diagnostic
 // text goes to stderr. Any cross-thread-count mismatch exits non-zero.
 //
-//   ./perf_parallel > BENCH_parallel.json
+//   ./perf_parallel [--quick] > BENCH_parallel.json
 //
 // Workloads:
-//   * sweep n=1..9           — the Figure 2 triple sweep
+//   * sweep n=1..11          — the Figure 2 triple sweep (--quick: n<=9,
+//                              the CI perf-smoke configuration)
 //   * verify_batch, 2k plans — certify 2000 planned embeddings
 //   * plan_batch, 2k shapes  — plan 2000 random shapes (shared cache)
 #include <algorithm>
@@ -75,11 +76,22 @@ std::vector<Shape> random_shapes(std::size_t count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: perf_parallel [--quick]\n");
+      return 2;
+    }
+  }
+
   int mismatches = 0;
 
-  // --- sweep_3d, n = 1..9 ---
-  for (u32 n = 1; n <= 9; ++n) {
+  // --- sweep_3d, n = 1..11 (--quick stops at 9) ---
+  const u32 sweep_max = quick ? 9 : 11;
+  for (u32 n = 1; n <= sweep_max; ++n) {
     coverage::SweepCounts reference;
     double serial_seconds = 0;
     for (u32 threads : kThreadCounts) {

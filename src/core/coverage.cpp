@@ -115,13 +115,61 @@ SweepCounts sweep_3d(u32 n) {
   counts.by_method = par::parallel_reduce(
       1, side + 1, /*grain=*/1, std::array<u64, 5>{},
       [side](u64 lo, u64 hi, std::array<u64, 5>& acc) {
-        for (u64 a = lo; a < hi; ++a)
-          for (u64 b = a; b <= side; ++b)
+        // Hoisted restatement of first_method(a, b, c): everything that
+        // depends only on (a, b) is computed once per pair, and the
+        // c-dependent ceilings (ceil2(c), ceil2(abc), ceil2(bc),
+        // ceil2(ac), the 3*2^p / 7*2^p exponents of method 3) advance
+        // monotonically with c, so the innermost iteration does a few
+        // multiplies and compares instead of re-deriving every rounding.
+        // The classification is exactly methods 1-4 in order — the golden
+        // Figure-2 gates pin the counts to the unhoisted evaluation.
+        for (u64 a = lo; a < hi; ++a) {
+          const u64 ca = ceil_pow2(a);
+          const u32 pa3 = min_pow_for(a, 3), pa7 = min_pow_for(a, 7);
+          for (u64 b = a; b <= side; ++b) {
+            const u64 cb = ceil_pow2(b);
+            const u64 ab = a * b;
+            const u64 cab = ceil_pow2(ab);
+            const u32 pb3 = min_pow_for(b, 3), pb7 = min_pow_for(b, 7);
+            u64 cc = cb;                      // ceil2(c), c from b
+            u64 cabc = ceil_pow2(ab * b);     // ceil2(a*b*c)
+            u64 cbc = ceil_pow2(b * b);       // ceil2(b*c)
+            u64 cac = ceil_pow2(a * b);       // ceil2(a*c)
+            u32 pc3 = pb3, pc7 = pb7;         // min p: 3*2^p >= c, 7*2^p >= c
             for (u64 c = b; c <= side; ++c) {
+              while (cc < c) cc <<= 1;
+              while (cabc < ab * c) cabc <<= 1;
+              while (cbc < b * c) cbc <<= 1;
+              while (cac < a * c) cac <<= 1;
+              while ((u64{3} << pc3) < c) ++pc3;
+              while ((u64{7} << pc7) < c) ++pc7;
+              u32 method = 0;
+              if (ca * cb * cc == cabc) {
+                method = 1;
+              } else if (cab * cc == cabc || cbc * ca == cabc ||
+                         cac * cb == cabc) {
+                method = 2;
+              } else {
+                // Method 3's four extension patterns, as exponent sums.
+                const u32 t333 = 5 + pa3 + pb3 + pc3;
+                const u32 t733 = 6 + pa7 + pb3 + pc3;
+                const u32 t373 = 6 + pa3 + pb7 + pc3;
+                const u32 t337 = 6 + pa3 + pb3 + pc7;
+                if ((t333 < 64 && (u64{1} << t333) == cabc) ||
+                    (t733 < 64 && (u64{1} << t733) == cabc) ||
+                    (t373 < 64 && (u64{1} << t373) == cabc) ||
+                    (t337 < 64 && (u64{1} << t337) == cabc)) {
+                  method = 3;
+                } else if (method4_split(a, b, c)) {
+                  method = 4;
+                }
+              }
               const u64 weight =
                   (a == b && b == c) ? 1 : (a == b || b == c) ? 3 : 6;
-              acc[first_method(a, b, c)] += weight;
+              acc[method] += weight;
             }
+          }
+        }
       },
       [](std::array<u64, 5>& into, std::array<u64, 5>&& from) {
         for (u32 m = 0; m < 5; ++m) into[m] += from[m];

@@ -4,6 +4,38 @@
 
 namespace hj {
 
+void Embedding::map_all(std::vector<CubeNode>& out) const {
+  const u64 n = guest_.num_nodes();
+  out.resize(n);
+  for (MeshIndex i = 0; i < n; ++i) out[i] = map(i);
+}
+
+void GrayEmbedding::map_all(std::vector<CubeNode>& out) const {
+  const Shape& s = guest().shape();
+  const u64 n = s.num_nodes();
+  out.resize(n);
+  if (n == 0) return;
+  const u32 k = s.dims();
+  Coord c(k, 0);
+  CubeNode cur = 0;  // gray(0) == 0 on every axis
+  for (u64 idx = 0;;) {
+    out[idx] = cur;
+    if (++idx == n) break;
+    // Row-major odometer, fastest axis last. An increment on axis i flips
+    // cur by gray(c)^gray(c+1); a carry resets the axis field to gray(0)=0
+    // by flipping off gray(l-1).
+    for (u32 i = k; i-- > 0;) {
+      if (c[i] + 1 < s[i]) {
+        cur ^= (gray(c[i]) ^ gray(c[i] + 1)) << shift_[i];
+        ++c[i];
+        break;
+      }
+      cur ^= gray(c[i]) << shift_[i];
+      c[i] = 0;
+    }
+  }
+}
+
 CubePath ExplicitEmbedding::edge_path(const MeshEdge& e) const {
   const u64 key = path_key(e);
   if (!paths_.empty()) {

@@ -49,6 +49,21 @@ class Embedding {
   /// False for the many-to-one embeddings of Section 7.
   [[nodiscard]] virtual bool one_to_one() const noexcept { return true; }
 
+  /// Materialize map(i) for every guest node into `out` (resized to
+  /// num_nodes(); out[i] == map(i) for all i). The default loops over the
+  /// virtual map(); composite embeddings override it with incremental
+  /// odometer traversals that amortize the per-node coordinate arithmetic
+  /// and factor-map recursion — the batch verifier's hot path.
+  virtual void map_all(std::vector<CubeNode>& out) const;
+
+  /// True asserts that *every* guest edge's assigned path is exactly the
+  /// at-most-one-hop sequence [map(e.a), map(e.b)] — i.e. dilation <= 1
+  /// with the default e-cube route. Gray embeddings and products/relabels/
+  /// submeshes of unit embeddings qualify; anything that may carry a
+  /// prescribed multi-hop path (ExplicitEmbedding) must return false. The
+  /// verifier uses this to skip materializing per-edge paths.
+  [[nodiscard]] virtual bool unit_paths() const noexcept { return false; }
+
   /// expansion = |V(H)| / |V(G)| (Definition 1).
   [[nodiscard]] double expansion() const noexcept {
     return static_cast<double>(u64{1} << host_dim_) /
@@ -102,6 +117,10 @@ class GrayEmbedding final : public Embedding {
     return Hypercube::ecube_path(map(e.a), map(e.b));
   }
 
+  void map_all(std::vector<CubeNode>& out) const override;
+
+  [[nodiscard]] bool unit_paths() const noexcept override { return true; }
+
  private:
   GrayEmbedding(u32 host_dim, Mesh g) : Embedding(std::move(g), host_dim) {
     const Shape& s = guest().shape();
@@ -140,6 +159,10 @@ class ExplicitEmbedding final : public Embedding {
   }
 
   [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
+
+  void map_all(std::vector<CubeNode>& out) const override {
+    out.assign(map_.begin(), map_.end());
+  }
 
   /// Prescribe the path for one edge. `path` must run from map(e.a) to
   /// map(e.b) along cube edges; the verifier re-checks this.

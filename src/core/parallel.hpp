@@ -1,24 +1,38 @@
-// hjembed: deterministic chunked parallelism for batch workloads.
+// hjembed: deterministic self-scheduled parallelism for batch workloads.
 //
-// The engine is deliberately simple — no work stealing, no persistent
-// pool: a range [begin, end) is cut into fixed-size chunks of `grain`
-// iterations, workers claim chunks off a shared atomic counter, and
-// reductions merge per-chunk accumulators *in chunk order*. Because the
-// chunk decomposition and the merge order depend only on (range, grain)
-// — never on the worker count or on scheduling — every parallel_for /
-// parallel_reduce result is bit-identical to the serial run, including
-// floating-point sums. That determinism guarantee is what lets the
-// coverage sweep, batch verifier and batch planner run under any
-// HJ_THREADS setting and still reproduce the paper's counts exactly.
+// A range [begin, end) is cut into fixed-size chunks of `grain`
+// iterations. Workers claim chunk indices off an atomic ticket counter
+// (self-scheduling: a fast worker simply claims more tickets, which is
+// what load-balances the triangular sweep and the mixed-size batches),
+// and reductions merge per-chunk accumulators *in chunk order*. The
+// determinism contract: the chunk decomposition and the merge order
+// depend only on (range, grain) — never on the worker count, the ticket
+// claim order, or scheduling — so every parallel_for / parallel_reduce
+// result is bit-identical to the serial run, floating-point sums
+// included. Which thread computed a chunk can never leak into a result;
+// only *where* the chunk's accumulator is merged matters, and that slot
+// is fixed by the chunk index.
+//
+// Unlike the first-generation engine, workers are persistent: a lazily
+// grown pool parks on a condition variable between calls, so a parallel
+// region costs two mutex handoffs instead of spawning and joining a
+// thread per worker per call (which dominated small sweeps). Multiple
+// threads may issue parallel regions concurrently — each region is a
+// queued job with its own ticket/completion counters, and pool workers
+// drain whichever jobs are live. A parallel region issued from inside a
+// pool worker (nested parallelism) runs inline on that worker, which
+// keeps the pool deadlock-free without a worker-count budget.
 //
 // Thread count resolution: set_thread_override() (the CLI --threads
 // flag) > the HJ_THREADS environment variable > hardware concurrency.
-// A count of 1 runs inline on the calling thread with no spawning.
+// A count of 1 runs inline on the calling thread with no pool traffic.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -61,37 +75,176 @@ inline void set_thread_override(u32 n) {
 
 namespace detail {
 
+/// True on a pool worker thread; nested parallel regions run inline.
+inline bool& in_pool_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+/// One parallel region: an atomic ticket dispenser plus completion
+/// accounting. Chunk c is claimed by exactly one thread; `done` counts
+/// processed (or skipped-after-failure) chunks, and the caller sleeps on
+/// `cv` until done == chunks. The first exception is captured and
+/// rethrown on the issuing thread; later chunks are skipped, matching
+/// the fail-fast contract of the first-generation engine.
+struct Job {
+  u64 chunks = 0;
+  u32 max_workers = 0;  // pool workers allowed to join (caller excluded)
+  u32 joined = 0;       // guarded by the pool mutex
+  void (*fn)(void*, u64) = nullptr;
+  void* ctx = nullptr;
+  std::atomic<u64> next{0};
+  std::atomic<u64> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mu
+};
+
+/// Lazily grown persistent worker pool. Workers park on `cv_` and drain
+/// queued jobs; the pool never shrinks (parked workers cost a stack and
+/// nothing else) and joins everything on static destruction.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  /// Run `fn(ctx, c)` for every chunk c in [0, chunks) on up to
+  /// `workers` threads including the caller. Blocks until every chunk
+  /// completed; rethrows the first chunk exception.
+  void run(u64 chunks, u32 workers, void (*fn)(void*, u64), void* ctx) {
+    const auto job = std::make_shared<Job>();
+    job->chunks = chunks;
+    job->max_workers = workers - 1;
+    job->fn = fn;
+    job->ctx = ctx;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ensure_workers(workers - 1);
+      queue_.push_back(job);
+    }
+    cv_.notify_all();
+    drive(*job);  // the caller is always one of the workers
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->cv.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->chunks;
+      });
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i] == job) {
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  /// Threads currently parked in or working for the pool (diagnostic).
+  [[nodiscard]] u64 size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return threads_.size();
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  // Hard cap on pool threads; HJ_THREADS admits up to 4096, but beyond
+  // this the extra workers only add scheduler pressure. Jobs requesting
+  // more simply run with every pooled worker plus the caller.
+  static constexpr std::size_t kMaxThreads = 256;
+
+  void ensure_workers(u32 want) {
+    while (threads_.size() < want && threads_.size() < kMaxThreads)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  /// Claim tickets until the job is exhausted. Every claimed chunk
+  /// increments `done` exactly once (skipped chunks after a failure
+  /// included), so done == chunks is the completion condition.
+  static void drive(Job& job) {
+    for (;;) {
+      const u64 c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.chunks) return;
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          job.fn(job.ctx, c);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(job.mu);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.chunks) {
+        // Taking the job mutex before notifying closes the race with a
+        // caller that just checked the predicate and is about to sleep.
+        const std::lock_guard<std::mutex> lock(job.mu);
+        job.cv.notify_all();
+      }
+    }
+  }
+
+  [[nodiscard]] std::shared_ptr<Job> claimable_job() {
+    for (const std::shared_ptr<Job>& job : queue_) {
+      if (job->joined < job->max_workers &&
+          job->next.load(std::memory_order_relaxed) < job->chunks)
+        return job;
+    }
+    return nullptr;
+  }
+
+  void worker_loop() {
+    in_pool_worker() = true;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || claimable_job() != nullptr; });
+        if (stop_) return;
+        job = claimable_job();
+        if (!job) continue;  // raced away by another worker
+        ++job->joined;
+      }
+      drive(*job);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::vector<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
 /// Worker loop shared by the plain and observed paths; see run_chunks.
 template <class Fn>
 void run_chunks_plain(u64 chunks, Fn&& fn) {
   const u64 workers = std::min<u64>(thread_count(), chunks);
-  if (workers <= 1) {
+  if (workers <= 1 || in_pool_worker()) {
+    // Serial, or a nested region on a pool worker: run inline. The
+    // results are identical either way — inline execution is just the
+    // one-worker schedule of the same chunk decomposition.
     for (u64 c = 0; c < chunks; ++c) fn(c);
     return;
   }
-  std::atomic<u64> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto work = [&]() {
-    for (;;) {
-      const u64 c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks || failed.load(std::memory_order_relaxed)) return;
-      try {
-        fn(c);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (u64 t = 1; t < workers; ++t) pool.emplace_back(work);
-  work();
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  using F = std::remove_reference_t<Fn>;
+  const auto thunk = +[](void* ctx, u64 c) { (*static_cast<F*>(ctx))(c); };
+  Pool::instance().run(chunks, static_cast<u32>(workers), thunk, &fn);
 }
 
 /// Observed path: times every chunk and records per-chunk wall time plus
@@ -118,14 +271,16 @@ void run_chunks_observed(u64 chunks, Fn&& fn) {
   }
   reg.counter("par.invocations", obs::Kind::Timing).add();
   reg.counter("par.chunks", obs::Kind::Timing).add(chunks);
+  reg.histogram("par.pool_threads", obs::Kind::Timing)
+      .observe(Pool::instance().size());
   // 100 = perfectly balanced; 800 = the slowest chunk ran 8x the mean.
   reg.histogram("par.imbalance_x100", obs::Kind::Timing)
       .observe(total ? longest * chunks * 100 / total : 100);
 }
 
 /// Run `fn(chunk_index)` for every chunk in [0, chunks). Workers claim
-/// chunk indices from an atomic counter; the first exception is captured
-/// and rethrown on the calling thread after all workers join.
+/// chunk indices from an atomic ticket; the first exception is captured
+/// and rethrown on the calling thread after the region drains.
 template <class Fn>
 void run_chunks(u64 chunks, Fn&& fn) {
   if (chunks == 0) return;

@@ -1,7 +1,9 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "core/bitword.hpp"
 #include "core/coverage.hpp"
 #include "core/direct.hpp"
 #include "core/parallel.hpp"
@@ -12,8 +14,10 @@
 namespace hj {
 namespace {
 
-std::vector<u64> divisors(u64 n) {
-  std::vector<u64> out;
+// Axis lengths in practice have few divisors; 16 inline slots cover every
+// length below 2^4 * 3^2 * 5 * 7 without touching the heap.
+SmallVec<u64, 16> divisors(u64 n) {
+  SmallVec<u64, 16> out;
   for (u64 d = 1; d * d <= n; ++d) {
     if (n % d) continue;
     out.push_back(d);
@@ -25,18 +29,24 @@ std::vector<u64> divisors(u64 n) {
 
 u64 product_of(const Shape& s) { return s.num_nodes(); }
 
-}  // namespace
-
-u32 ShardedPlanCache::shard_of(const std::string& key) {
-  return static_cast<u32>(std::hash<std::string>{}(key) % kShards);
+PlanKey key_of(const Shape& shape, bool may_extend) {
+  PlanKey k;
+  k.extents = shape.extents();
+  k.extend = may_extend;
+  return k;
 }
 
-std::optional<PlanCacheEntry> ShardedPlanCache::get(
-    const std::string& key) const {
+}  // namespace
+
+u32 ShardedPlanCache::shard_of(const PlanKey& key) {
+  return static_cast<u32>(PlanKeyHash{}(key) % kShards);
+}
+
+std::optional<PlanCacheEntry> ShardedPlanCache::get(const PlanKey& key) const {
   std::optional<PlanCacheEntry> hit;
   {
     const Shard& s = shards_[shard_of(key)];
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const std::shared_lock<std::shared_mutex> lock(s.mu);
     if (auto it = s.map.find(key); it != s.map.end()) hit = it->second;
   }
   // Timing-kind: whether a worker hits depends on which worker published
@@ -54,12 +64,11 @@ std::optional<PlanCacheEntry> ShardedPlanCache::get(
   return hit;
 }
 
-void ShardedPlanCache::put(const std::string& key,
-                           const PlanCacheEntry& entry) {
+void ShardedPlanCache::put(const PlanKey& key, const PlanCacheEntry& entry) {
   bool inserted;
   {
     Shard& s = shards_[shard_of(key)];
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const std::unique_lock<std::shared_mutex> lock(s.mu);
     // First writer wins; a racing writer computed the same value anyway
     // (planning is deterministic), so dropping the duplicate is safe.
     inserted = s.map.try_emplace(key, entry).second;
@@ -78,7 +87,7 @@ void ShardedPlanCache::put(const std::string& key,
 u64 ShardedPlanCache::size() const {
   u64 n = 0;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const std::shared_lock<std::shared_mutex> lock(s.mu);
     n += s.map.size();
   }
   return n;
@@ -86,7 +95,7 @@ u64 ShardedPlanCache::size() const {
 
 void ShardedPlanCache::clear() {
   for (Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const std::unique_lock<std::shared_mutex> lock(s.mu);
     s.map.clear();
   }
 }
@@ -129,7 +138,7 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
         "planner.best_calls", obs::Kind::Timing);
     calls.add();
   }
-  const std::string key = shape.to_string() + (may_extend ? "+" : "-");
+  const PlanKey key = key_of(shape, may_extend);
   if (auto it = memo_.find(key); it != memo_.end()) {
     if (obs::enabled()) {
       static obs::Counter& hits = obs::Registry::global().counter(
@@ -188,7 +197,7 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
 
 void Planner::try_factorizations(const Shape& shape, Entry& incumbent) {
   const u32 k = shape.dims();
-  std::vector<std::vector<u64>> divs(k);
+  std::vector<SmallVec<u64, 16>> divs(k);
   for (u32 i = 0; i < k; ++i) divs[i] = divisors(shape[i]);
 
   // Odometer over per-axis divisor choices for the first factor.
@@ -339,12 +348,10 @@ PlanResult Planner::plan_avoiding(const Shape& shape, const FaultSet& faults) {
           "plan_avoiding: mesh with %llu nodes is too large to materialize",
           static_cast<unsigned long long>(nodes));
 
-  std::vector<CubeNode> map(nodes);
-  std::vector<bool> used(cube, false);
-  for (MeshIndex i = 0; i < nodes; ++i) {
-    map[i] = base.embedding->map(i);
-    used[map[i]] = true;
-  }
+  std::vector<CubeNode> map;
+  base.embedding->map_all(map);
+  BitwordSet used(cube);
+  for (MeshIndex i = 0; i < nodes; ++i) used.set(map[i]);
 
   // Rungs 1-2 of the degradation ladder: an XOR translation t of the node
   // map (t = 0 keeps the map and only detours edge paths; a single-bit t
@@ -353,7 +360,7 @@ PlanResult Planner::plan_avoiding(const Shape& shape, const FaultSet& faults) {
   // candidates are screened in O(#faults) before any routing work.
   const auto dodges_failed_nodes = [&](u64 t) {
     for (CubeNode f : faults.failed_nodes())
-      if ((f ^ t) < cube && used[f ^ t]) return false;
+      if ((f ^ t) < cube && used.test(f ^ t)) return false;
     return true;
   };
   const auto attempt = [&](u64 t) -> std::optional<PlanResult> {

@@ -47,6 +47,60 @@ CubeNode MeshProductEmbedding::map(MeshIndex idx) const {
   return combine(inner_->map(xi), outer_->map(yi));
 }
 
+void MeshProductEmbedding::map_all(std::vector<CubeNode>& out) const {
+  const Shape& s = guest().shape();
+  const Shape& s1 = inner_->guest().shape();
+  const Shape& s2 = outer_->guest().shape();
+  const u64 n = s.num_nodes();
+  out.resize(n);
+  if (n == 0) return;
+  // Materialize both factor maps once (recursing through nested products),
+  // then walk the product mesh with an odometer that tracks the inner/outer
+  // coordinate split incrementally — no per-node division, no Coord
+  // allocation, no virtual recursion.
+  std::vector<CubeNode> im, om;
+  inner_->map_all(im);
+  outer_->map_all(om);
+  const u32 k = s.dims();
+  const u32 inner_dim = inner_->host_dim();
+  SmallVec<u64, 8> st1(k, 0), st2(k, 0);
+  {
+    u64 a = 1, b = 1;
+    for (u32 j = k; j-- > 0;) {
+      st1[j] = a;
+      a *= s1[j];
+      st2[j] = b;
+      b *= s2[j];
+    }
+  }
+  Coord z(k, 0), x(k, 0), y(k, 0);  // z_j = y_j * l1j + x_j (unreflected x)
+  for (u64 idx = 0;;) {
+    u64 xi = 0, yi = 0;
+    for (u32 j = 0; j < k; ++j) {
+      // Reflect the inner coordinate in odd copies (Sec. 4.1).
+      xi += ((y[j] & 1) ? s1[j] - 1 - x[j] : x[j]) * st1[j];
+      yi += y[j] * st2[j];
+    }
+    out[idx] = (om[yi] << inner_dim) | im[xi];
+    if (++idx == n) break;
+    for (u32 j = k; j-- > 0;) {
+      if (z[j] + 1 < s[j]) {
+        ++z[j];
+        if (x[j] + 1 < s1[j]) {
+          ++x[j];
+        } else {
+          x[j] = 0;
+          ++y[j];
+        }
+        break;
+      }
+      z[j] = 0;
+      x[j] = 0;
+      y[j] = 0;
+    }
+  }
+}
+
 CubePath MeshProductEmbedding::edge_path(const MeshEdge& e) const {
   const Shape& s = guest().shape();
   const Shape& s1 = inner_->guest().shape();
@@ -153,6 +207,36 @@ CubeNode RelabelEmbedding::map(MeshIndex idx) const {
   return base_->map(to_base(idx));
 }
 
+void RelabelEmbedding::map_all(std::vector<CubeNode>& out) const {
+  std::vector<CubeNode> bm;
+  base_->map_all(bm);
+  const Shape& s = guest().shape();
+  const Shape& sb = base_->guest().shape();
+  const u64 n = s.num_nodes();
+  out.resize(n);
+  if (n == 0) return;
+  const u32 k = s.dims();
+  // Walking target axis j moves the base index by the stride of the base
+  // axis it feeds (zero for the inserted length-1 axes, which never step).
+  SmallVec<u64, 8> bstride(k, 0);
+  for (u32 i = 0; i < sb.dims(); ++i) bstride[axis_of_base_[i]] = sb.stride(i);
+  Coord c(k, 0);
+  u64 bi = 0;
+  for (u64 idx = 0;;) {
+    out[idx] = bm[bi];
+    if (++idx == n) break;
+    for (u32 j = k; j-- > 0;) {
+      if (c[j] + 1 < s[j]) {
+        ++c[j];
+        bi += bstride[j];
+        break;
+      }
+      bi -= c[j] * bstride[j];
+      c[j] = 0;
+    }
+  }
+}
+
 CubePath RelabelEmbedding::edge_path(const MeshEdge& e) const {
   const i32 baxis = base_of_axis_[e.axis];
   assert(baxis >= 0);  // length-1 axes have no edges
@@ -176,6 +260,32 @@ MeshIndex SubmeshEmbedding::to_base(MeshIndex idx) const {
 
 CubeNode SubmeshEmbedding::map(MeshIndex idx) const {
   return base_->map(to_base(idx));
+}
+
+void SubmeshEmbedding::map_all(std::vector<CubeNode>& out) const {
+  std::vector<CubeNode> bm;
+  base_->map_all(bm);
+  const Shape& s = guest().shape();
+  const Shape& sb = base_->guest().shape();
+  const u64 n = s.num_nodes();
+  out.resize(n);
+  if (n == 0) return;
+  const u32 k = s.dims();
+  Coord c(k, 0);
+  u64 bi = 0;
+  for (u64 idx = 0;;) {
+    out[idx] = bm[bi];
+    if (++idx == n) break;
+    for (u32 j = k; j-- > 0;) {
+      if (c[j] + 1 < s[j]) {
+        ++c[j];
+        bi += sb.stride(j);
+        break;
+      }
+      bi -= c[j] * sb.stride(j);
+      c[j] = 0;
+    }
+  }
 }
 
 CubePath SubmeshEmbedding::edge_path(const MeshEdge& e) const {

@@ -32,6 +32,12 @@ class MeshProductEmbedding final : public Embedding {
   [[nodiscard]] bool one_to_one() const noexcept override {
     return inner_->one_to_one() && outer_->one_to_one();
   }
+  void map_all(std::vector<CubeNode>& out) const override;
+  [[nodiscard]] bool unit_paths() const noexcept override {
+    // Products preserve unit paths: an M1-type edge rides a (possibly
+    // reflected) one-hop inner path, an M2-type edge a one-hop outer path.
+    return inner_->unit_paths() && outer_->unit_paths();
+  }
 
   [[nodiscard]] const Embedding& inner() const noexcept { return *inner_; }
   [[nodiscard]] const Embedding& outer() const noexcept { return *outer_; }
@@ -73,6 +79,10 @@ class RelabelEmbedding final : public Embedding {
   [[nodiscard]] bool one_to_one() const noexcept override {
     return base_->one_to_one();
   }
+  void map_all(std::vector<CubeNode>& out) const override;
+  [[nodiscard]] bool unit_paths() const noexcept override {
+    return base_->unit_paths();
+  }
 
  private:
   [[nodiscard]] MeshIndex to_base(MeshIndex idx) const;
@@ -93,6 +103,10 @@ class SubmeshEmbedding final : public Embedding {
   [[nodiscard]] CubePath edge_path(const MeshEdge& e) const override;
   [[nodiscard]] bool one_to_one() const noexcept override {
     return base_->one_to_one();
+  }
+  void map_all(std::vector<CubeNode>& out) const override;
+  [[nodiscard]] bool unit_paths() const noexcept override {
+    return base_->unit_paths();
   }
 
  private:

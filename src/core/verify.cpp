@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "core/bitword.hpp"
 #include "core/parallel.hpp"
 
 namespace hj {
@@ -21,21 +22,54 @@ void bump(std::vector<u64>& hist, std::size_t bin) {
   ++hist[bin];
 }
 
+/// Per-thread scratch arena. verify() used to allocate (and zero) a node
+/// map, a 2^n load array and a 2^n*n congestion array per call; under the
+/// persistent pool each worker now keeps these buffers across calls and
+/// clears only the entries it actually dirtied, so a batch of thousands
+/// of verifies does thousands of memsets' less work. Buffers only grow.
+struct VerifyScratch {
+  std::vector<CubeNode> node_map;  // fully overwritten by map_all
+  std::vector<u32> dense_load;     // all-zero between calls
+  std::vector<u32> dense_cong;     // all-zero between calls
+  std::vector<u64> cong_dirty;     // first-touch keys into dense_cong
+};
+
+VerifyScratch& scratch() {
+  thread_local VerifyScratch s;
+  return s;
+}
+
 /// Congestion accumulator: dense array for small cubes, hash map beyond.
+/// The dense array lives in the scratch arena with a first-touch dirty
+/// list, so both collection and the end-of-call cleanup cost O(edges
+/// used), not O(2^n * n). Collection visits used edges in first-touch
+/// order — deterministic (the edge scan is serial) and irrelevant to the
+/// outputs, which are all commutative aggregates.
 class CongestionCounter {
  public:
-  explicit CongestionCounter(u32 dim) : dim_(dim) {
-    if (dim_ <= kDenseDimLimit && dim_ > 0)
-      dense_.assign((u64{1} << dim_) * dim_, 0);
+  CongestionCounter(u32 dim, VerifyScratch& s) : dim_(dim), s_(s) {
+    if (dim_ <= kDenseDimLimit && dim_ > 0) {
+      dense_ = true;
+      const u64 want = (u64{1} << dim_) * dim_;
+      if (s_.dense_cong.size() < want) s_.dense_cong.resize(want, 0);
+    }
+    s_.cong_dirty.clear();
+  }
+
+  ~CongestionCounter() {
+    if (dense_)
+      for (u64 k : s_.cong_dirty) s_.dense_cong[k] = 0;
   }
 
   void add(CubeNode a, CubeNode b) {
     const CubeNode lo = a < b ? a : b;
     const u32 bit = static_cast<u32>(std::countr_zero(a ^ b));
-    if (!dense_.empty())
-      ++dense_[lo * dim_ + bit];
-    else
+    if (dense_) {
+      const u64 k = lo * dim_ + bit;
+      if (s_.dense_cong[k]++ == 0) s_.cong_dirty.push_back(k);
+    } else {
       ++sparse_[(lo << 6) | bit];
+    }
   }
 
   /// (max congestion, sum over used edges, count of used edges, histogram
@@ -52,8 +86,8 @@ class CongestionCounter {
       ++used;
       bump(hist, static_cast<std::size_t>(c));
     };
-    if (!dense_.empty())
-      for (u32 c : dense_) account(c);
+    if (dense_)
+      for (u64 k : s_.cong_dirty) account(s_.dense_cong[k]);
     else
       for (const auto& [k, c] : sparse_) account(c);
   }
@@ -61,7 +95,8 @@ class CongestionCounter {
  private:
   static constexpr u32 kDenseDimLimit = 18;
   u32 dim_;
-  std::vector<u32> dense_;
+  VerifyScratch& s_;
+  bool dense_ = false;
   std::unordered_map<u64, u64> sparse_;
 };
 
@@ -80,15 +115,19 @@ VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
   r.expansion = emb.expansion();
   r.minimal_expansion = emb.minimal_expansion();
 
+  VerifyScratch& s = scratch();
+  std::vector<CubeNode>& nm = s.node_map;
+  emb.map_all(nm);
+
   // --- Node map: range, injectivity / load factor. ---
   {
     std::unordered_map<CubeNode, u64> load;
-    std::vector<u32> dense_load;
     const bool dense = r.host_dim <= 26;
-    if (dense) dense_load.assign(u64{1} << r.host_dim, 0);
+    if (dense && s.dense_load.size() < (u64{1} << r.host_dim))
+      s.dense_load.resize(u64{1} << r.host_dim, 0);
     u64 max_load = 0;
     for (MeshIndex i = 0; i < r.guest_nodes; ++i) {
-      const CubeNode v = emb.map(i);
+      const CubeNode v = nm[i];
       if (!host.contains(v)) {
         add_error(r, "node " + std::to_string(i) + " mapped outside the cube");
         continue;
@@ -100,24 +139,30 @@ VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
         ++r.faulted_nodes;
         r.fault_free = false;
       }
-      const u64 l = dense ? ++dense_load[v] : ++load[v];
+      const u64 l = dense ? ++s.dense_load[v] : ++load[v];
       max_load = std::max(max_load, l);
     }
     r.load_factor = max_load;
     if (emb.one_to_one() && max_load > 1)
       add_error(r, "embedding claims one-to-one but load factor is " +
                        std::to_string(max_load));
+    // Scrub exactly the entries this call touched; the arena must read
+    // all-zero for the next verify on this thread.
+    if (dense)
+      for (MeshIndex i = 0; i < r.guest_nodes; ++i)
+        if (host.contains(nm[i])) s.dense_load[nm[i]] = 0;
   }
 
   // --- Edge paths: validity, dilation, congestion. ---
-  CongestionCounter cong(r.host_dim);
+  CongestionCounter cong(r.host_dim, s);
   u64 dil_sum = 0;
   u32 dil_max = 0;
   u64 bad_paths = 0;
-  guest.for_each_edge([&](const MeshEdge& e) {
+  // Generic per-edge accounting: materializes the assigned path and checks
+  // it hop by hop. The unit-path scan below is an exact shortcut of this.
+  const auto generic = [&](const MeshEdge& e) {
     const CubePath p = emb.edge_path(e);
-    bool ok = !p.empty() && p.front() == emb.map(e.a) &&
-              p.back() == emb.map(e.b);
+    bool ok = !p.empty() && p.front() == nm[e.a] && p.back() == nm[e.b];
     for (std::size_t i = 0; ok && i + 1 < p.size(); ++i)
       ok = Hypercube::adjacent(p[i], p[i + 1]) && host.contains(p[i + 1]);
     if (!ok) {
@@ -136,7 +181,53 @@ VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
       r.fault_free = false;
     }
     for (std::size_t i = 0; i + 1 < p.size(); ++i) cong.add(p[i], p[i + 1]);
-  });
+  };
+  if (emb.unit_paths()) {
+    // Unit contract: edge_path(e) == [map(e.a), map(e.b)] for every edge,
+    // so the path needs no materializing — its validity, dilation, fault
+    // exposure and congestion follow from the two endpoint images. Any
+    // edge that breaks the contract (endpoint images neither equal nor
+    // adjacent) falls back to the generic scan, which keeps the report
+    // bit-identical to the non-shortcut verifier even then.
+    guest.for_each_edge([&](const MeshEdge& e) {
+      const CubeNode va = nm[e.a], vb = nm[e.b];
+      if (va == vb) {
+        // Degenerate single-node path [va]: valid, dilation 0, no hops.
+        bump(r.dilation_histogram, 0);
+        if (faults) {
+          CubePath p;
+          p.push_back(va);
+          if (!faults->path_avoids(p)) {
+            ++r.faulted_paths;
+            r.fault_free = false;
+          }
+        }
+        return;
+      }
+      const u64 x = va ^ vb;
+      if ((x & (x - 1)) == 0 && host.contains(vb)) {
+        // One hop va-vb. Note the generic scan only range-checks p[i+1],
+        // never p[0]; mirror that exactly.
+        dil_sum += 1;
+        dil_max = std::max<u32>(dil_max, 1);
+        bump(r.dilation_histogram, 1);
+        if (faults) {
+          CubePath p;
+          p.push_back(va);
+          p.push_back(vb);
+          if (!faults->path_avoids(p)) {
+            ++r.faulted_paths;
+            r.fault_free = false;
+          }
+        }
+        cong.add(va, vb);
+        return;
+      }
+      generic(e);
+    });
+  } else {
+    guest.for_each_edge(generic);
+  }
   if (bad_paths > 1)
     add_error(r, std::to_string(bad_paths) + " invalid edge paths in total");
 
@@ -243,8 +334,10 @@ std::string detailed_summary(const VerifyReport& r, const Embedding& emb) {
 
 std::vector<i64> inverse_placement(const Embedding& emb) {
   std::vector<i64> inv(u64{1} << emb.host_dim(), -1);
-  for (MeshIndex i = 0; i < emb.guest().num_nodes(); ++i)
-    inv[emb.map(i)] = static_cast<i64>(i);
+  std::vector<CubeNode> nm;
+  emb.map_all(nm);
+  for (MeshIndex i = 0; i < nm.size(); ++i)
+    inv[nm[i]] = static_cast<i64>(i);
   return inv;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/bitword.hpp"
 #include "obs/obs.hpp"
 
 namespace hj::sim {
@@ -132,8 +133,11 @@ SimResult CubeNetwork::run() {
   std::vector<std::vector<u32>> crossed(routes_.size());
   // Dependency bookkeeping: children[m] are released when m completes.
   std::vector<std::vector<u32>> children(routes_.size());
-  std::vector<bool> done(routes_.size(), false);
-  std::vector<bool> failed(routes_.size(), false);
+  // Delivery/failure state packed as bitwords: one cache line covers 512
+  // messages, where the two parallel vector<bool>s cost a proxy-masked
+  // byte dance per touch.
+  BitwordSet done(routes_.size());
+  BitwordSet failed(routes_.size());
   std::vector<u32> retries(routes_.size(), 0);
   std::vector<u32> active;
   std::vector<u32> roots;
@@ -148,8 +152,8 @@ SimResult CubeNetwork::run() {
   // delivered: fail it up front (and, transitively, its dependents)
   // instead of stalling the run to max_cycles.
   const auto fail = [&](u32 m, const auto& self) -> void {
-    if (failed[m]) return;
-    failed[m] = true;
+    if (failed.test(m)) return;
+    failed.set(m);
     ++result.failed_messages;
     for (u32 c : children[m]) self(c, self);
   };
@@ -160,12 +164,12 @@ SimResult CubeNetwork::run() {
   // Release a message: zero-hop messages complete instantly and cascade.
   const auto release = [&](u32 m, std::vector<u32>& out,
                            const auto& self) -> void {
-    if (failed[m]) return;
+    if (failed.test(m)) return;
     if (!crossed[m].empty()) {
       out.push_back(m);
       return;
     }
-    done[m] = true;
+    done.set(m);
     ++result.delivered;
     for (u32 c : children[m]) self(c, out, self);
   };
@@ -189,7 +193,7 @@ SimResult CubeNetwork::run() {
     std::vector<u32> still_active;
     still_active.reserve(active.size());
     for (u32 m : active) {
-      if (failed[m]) continue;  // retry budget ran out earlier this cycle
+      if (failed.test(m)) continue;  // retry budget ran out earlier this cycle
       const CubePath& r = routes_[m];
       auto& c = crossed[m];
       const u32 hops = static_cast<u32>(c.size());
@@ -216,11 +220,11 @@ SimResult CubeNetwork::run() {
         }
         ++c[h];
       }
-      if (failed[m]) continue;
+      if (failed.test(m)) continue;
       if (c[hops - 1] < flits) {
         still_active.push_back(m);
       } else {
-        done[m] = true;
+        done.set(m);
         ++result.delivered;
         for (u32 child : children[m])
           release(child, still_active, release);
@@ -304,7 +308,7 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
   const bool cut_through = config_.switching == Switching::CutThrough;
   std::vector<std::vector<u32>> crossed(routes_.size());
   std::vector<std::vector<u32>> children(routes_.size());
-  std::vector<bool> failed(routes_.size(), false);
+  BitwordSet failed(routes_.size());
   std::vector<u32> retries(routes_.size(), 0);
   // Watchdog state: local cycle of each message's last flit progress,
   // plus — to tell a dead network from a saturated one — how many of the
@@ -324,13 +328,13 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
       roots.push_back(m);
   }
   const auto fail = [&](u32 m, const auto& self) -> void {
-    if (failed[m]) return;
-    failed[m] = true;
+    if (failed.test(m)) return;
+    failed.set(m);
     for (u32 c : children[m]) self(c, self);
   };
   const auto release = [&](u32 m, std::vector<u32>& out,
                            const auto& self) -> void {
-    if (failed[m]) return;
+    if (failed.test(m)) return;
     if (!crossed[m].empty()) {
       out.push_back(m);
       return;
@@ -358,7 +362,7 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
     std::vector<u32> still_active;
     still_active.reserve(active.size());
     for (u32 m : active) {
-      if (failed[m]) continue;
+      if (failed.test(m)) continue;
       const CubePath& r = routes_[m];
       auto& c = crossed[m];
       const u32 hops = static_cast<u32>(c.size());
@@ -396,7 +400,7 @@ LiveEpochResult CubeNetwork::run_live(u64 start_cycle,
         ++c[h];
         progressed = true;
       }
-      if (failed[m]) continue;
+      if (failed.test(m)) continue;
       if (progressed) {
         last_progress[m] = executed;
         failed_since[m] = 0;

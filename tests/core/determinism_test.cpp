@@ -166,6 +166,44 @@ TEST(Determinism, PlanBatchCanonicalizesPermutedShapes) {
   EXPECT_EQ(results[0].plan.rfind("perm<", 0), 0u);
 }
 
+TEST(Determinism, RepeatedRunsAtEightThreadsAreBitIdentical) {
+  // Thread-count invariance alone would not catch a racy self-scheduler:
+  // with ticket-based chunk claiming, *which worker* computes a chunk
+  // varies run to run even at a fixed thread count. Five repeated runs
+  // at 8 threads pin that the claim order never leaks into results —
+  // the merge order is a function of the chunk index only.
+  const ThreadOverrideGuard guard;
+  par::set_thread_override(8);
+  const std::vector<Shape> shapes = seeded_shapes(24);
+
+  const coverage::SweepCounts sweep_ref = coverage::sweep_3d(5);
+  const std::vector<PlanResult> plan_ref = plan_batch(shapes);
+  std::vector<EmbeddingPtr> embs;
+  for (const PlanResult& p : plan_ref) embs.push_back(p.embedding);
+  const std::vector<VerifyReport> verify_ref = verify_batch(embs);
+
+  for (int run = 1; run < 5; ++run) {
+    SCOPED_TRACE("repeat " + std::to_string(run));
+    const coverage::SweepCounts sweep = coverage::sweep_3d(5);
+    EXPECT_EQ(sweep.total, sweep_ref.total);
+    EXPECT_EQ(sweep.by_method, sweep_ref.by_method);
+
+    const std::vector<PlanResult> plans = plan_batch(shapes);
+    ASSERT_EQ(plans.size(), plan_ref.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      EXPECT_EQ(plans[i].plan, plan_ref[i].plan) << shapes[i].to_string();
+      expect_same_report(plans[i].report, plan_ref[i].report);
+    }
+
+    const std::vector<VerifyReport> reports = verify_batch(embs);
+    ASSERT_EQ(reports.size(), verify_ref.size());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      SCOPED_TRACE(shapes[i].to_string());
+      expect_same_report(reports[i], verify_ref[i]);
+    }
+  }
+}
+
 TEST(Determinism, SharedCacheReusesFactorPlans) {
   const ThreadOverrideGuard guard;
   par::set_thread_override(2);

@@ -1,0 +1,123 @@
+// Self-timing scaling gate for the parallel engine. The hot-path rewrite
+// (persistent self-scheduling pool, arena-backed verify, bitword
+// bookkeeping) promises real multi-core scaling, not just determinism —
+// this harness measures it: sweep_3d and verify_batch on an n=9-class
+// workload at HJ_THREADS=1 versus every hardware thread must come out at
+// least 2x faster. Timing tests are noise-prone by nature, so each
+// configuration takes the best of several runs on a pre-warmed pool; the
+// 2x bar is far below the ~6x an 8-core machine reaches, leaving slack
+// for a loaded CI runner without letting a serialized engine pass.
+//
+// On machines with fewer than 4 hardware threads a 2x speedup is not
+// measurable, so the gate skips (with a notice); the multicore CI
+// runners are where it binds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/embedding.hpp"
+#include "core/parallel.hpp"
+#include "core/verify.hpp"
+
+namespace hj {
+namespace {
+
+constexpr u32 kMinHardwareThreads = 4;
+constexpr double kRequiredSpeedup = 2.0;
+
+/// RAII guard: restore the engine to env/hardware resolution on exit so
+/// a failing test cannot leak an override into later tests.
+struct ThreadOverrideGuard {
+  ~ThreadOverrideGuard() { par::set_thread_override(0); }
+};
+
+template <class Fn>
+double seconds_of(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best (minimum) wall time over `reps` runs — the standard damping for
+/// scheduler jitter when benchmarking inside a test.
+template <class Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = seconds_of(fn);
+  for (int r = 1; r < reps; ++r) best = std::min(best, seconds_of(fn));
+  return best;
+}
+
+/// Spin the pool up (worker threads spawn on first use) so neither timed
+/// configuration pays the one-time startup cost.
+void warm_pool(u32 threads) {
+  par::set_thread_override(threads);
+  (void)coverage::sweep_3d(4);
+}
+
+TEST(Scaling, SweepReachesTwoXOnMulticore) {
+  const u32 hw = std::thread::hardware_concurrency();
+  if (hw < kMinHardwareThreads) {
+    GTEST_SKIP() << "scaling gate needs >= " << kMinHardwareThreads
+                 << " hardware threads, found " << hw
+                 << "; speedup is enforced on the multicore CI runners";
+  }
+  const ThreadOverrideGuard guard;
+  warm_pool(hw);
+
+  par::set_thread_override(1);
+  const double serial = best_of(2, [] { (void)coverage::sweep_3d(9); });
+  par::set_thread_override(hw);
+  const double parallel = best_of(3, [] { (void)coverage::sweep_3d(9); });
+
+  const double speedup = serial / parallel;
+  RecordProperty("sweep_serial_s", std::to_string(serial));
+  RecordProperty("sweep_parallel_s", std::to_string(parallel));
+  RecordProperty("sweep_speedup", std::to_string(speedup));
+  EXPECT_GE(speedup, kRequiredSpeedup)
+      << "sweep_3d(9): " << serial << "s at 1 thread vs " << parallel
+      << "s at " << hw << " threads (" << speedup << "x)";
+}
+
+TEST(Scaling, VerifyBatchReachesTwoXOnMulticore) {
+  const u32 hw = std::thread::hardware_concurrency();
+  if (hw < kMinHardwareThreads) {
+    GTEST_SKIP() << "scaling gate needs >= " << kMinHardwareThreads
+                 << " hardware threads, found " << hw
+                 << "; speedup is enforced on the multicore CI runners";
+  }
+  const ThreadOverrideGuard guard;
+  warm_pool(hw);
+
+  // n=9-class workload: every sorted 3-d shape with sides 4..16 (up to
+  // 4096 nodes, minimal cubes up to Q12), four Gray copies each — a few
+  // million guest edges in total, enough serial work for the ratio to be
+  // meaningful while one verify stays far smaller than one chunk of it.
+  std::vector<EmbeddingPtr> embs;
+  for (u64 a = 4; a <= 16; ++a)
+    for (u64 b = a; b <= 16; ++b)
+      for (u64 c = b; c <= 16; ++c)
+        for (int copy = 0; copy < 4; ++copy)
+          embs.push_back(std::make_shared<GrayEmbedding>(Mesh(Shape{a, b, c})));
+
+  par::set_thread_override(1);
+  const double serial = best_of(2, [&] { (void)verify_batch(embs); });
+  par::set_thread_override(hw);
+  const double parallel = best_of(3, [&] { (void)verify_batch(embs); });
+
+  const double speedup = serial / parallel;
+  RecordProperty("verify_serial_s", std::to_string(serial));
+  RecordProperty("verify_parallel_s", std::to_string(parallel));
+  RecordProperty("verify_speedup", std::to_string(speedup));
+  EXPECT_GE(speedup, kRequiredSpeedup)
+      << "verify_batch(" << embs.size() << " embeddings): " << serial
+      << "s at 1 thread vs " << parallel << "s at " << hw << " threads ("
+      << speedup << "x)";
+}
+
+}  // namespace
+}  // namespace hj

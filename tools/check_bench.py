@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Schema validator for the line-delimited BENCH_*.json artifacts.
 
-Usage: check_bench.py FILE [FILE ...]
+Usage: check_bench.py [--min-plan-speedup=X] FILE [FILE ...]
 
 Checks, per file (schema chosen by basename):
   * every line parses as a JSON object
   * every required key is present, with finite numbers (no NaN/inf)
   * run ids are monotone:
       - BENCH_parallel*: within each workload, the thread counts of the
-        timed rows are strictly increasing (size resets the sequence)
+        timed rows are strictly increasing (size resets the sequence);
+        with --min-plan-speedup=X, additionally every plan_batch row
+        must report speedup >= X (the CI perf-smoke gate: adding
+        threads must never make planning slower than serial)
       - BENCH_recovery*: trials are non-decreasing per (shape, mode), and
         epoch rows count 0, 1, 2, ... between summary rows
       - BENCH_storm*: every storm row's verdict is one of
@@ -78,7 +81,7 @@ def check_types(row, schema, errors, where, required=True):
             errors.append(f"{where}: '{key}' is not finite")
 
 
-def check_parallel(rows, errors):
+def check_parallel(rows, errors, min_plan_speedup=None):
     last = {}  # workload -> (size, threads)
     for lineno, row in rows:
         where = f"line {lineno}"
@@ -86,6 +89,12 @@ def check_parallel(rows, errors):
         if not all(k in row for k in ("workload", "size", "threads")):
             continue
         key = row["workload"]
+        if (min_plan_speedup is not None and key == "plan_batch"
+                and isinstance(row.get("speedup"), (int, float))
+                and row["speedup"] < min_plan_speedup):
+            errors.append(
+                f"{where}: plan_batch at {row['threads']} threads has "
+                f"speedup {row['speedup']} < {min_plan_speedup}")
         prev = last.get(key)
         if prev is not None:
             size, threads = prev
@@ -170,7 +179,7 @@ def check_storm(rows, errors):
         errors.append(f"storm rows for {key} have no survival row")
 
 
-def check_file(path):
+def check_file(path, min_plan_speedup=None):
     errors = []
     rows = []
     with open(path, encoding="utf-8") as f:
@@ -192,7 +201,7 @@ def check_file(path):
 
     name = path.rsplit("/", 1)[-1]
     if name.startswith("BENCH_parallel"):
-        check_parallel(rows, errors)
+        check_parallel(rows, errors, min_plan_speedup)
     elif name.startswith("BENCH_recovery"):
         check_recovery(rows, errors)
     elif name.startswith("BENCH_storm"):
@@ -204,12 +213,23 @@ def check_file(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    min_plan_speedup = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-plan-speedup="):
+            try:
+                min_plan_speedup = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"invalid threshold in '{arg}'", file=sys.stderr)
+                return 2
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failed = False
-    for path in argv[1:]:
-        errors = check_file(path)
+    for path in paths:
+        errors = check_file(path, min_plan_speedup)
         if errors:
             failed = True
             for e in errors:

@@ -22,10 +22,11 @@ if [ "$mode" = tsan ]; then
   cmake -B "$build" -S "$repo" -DHJ_SANITIZE_THREAD=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc)" \
-    --target test_recovery test_live test_storm test_determinism test_planner
+    --target test_recovery test_live test_storm test_determinism \
+    test_planner test_bitword test_scaling test_hypersim
   TSAN_OPTIONS=halt_on_error=1 HJ_THREADS=4 \
     ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
-    -R 'Recovery|PlanBatch|LiveRun|LiveDeterminism|RunLive|Determinism|Planner|Storm'
+    -R 'Recovery|PlanBatch|LiveRun|LiveDeterminism|RunLive|Determinism|Planner|Storm|Bitword|Scaling|Network'
 else
   cmake -B "$build" -S "$repo" -DHJ_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
