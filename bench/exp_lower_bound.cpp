@@ -16,6 +16,10 @@ int main() {
   std::printf("%-10s %-6s %-10s %-22s %-22s\n", "mesh", "bound", "minimal",
               "search at minimal dim", "search at bound");
 
+  // Gating: a "FOUND?!" (embedding below the bound) or "MISSING?!"
+  // (no witness at the bound) row refutes Theorem 1 — the run must fail,
+  // not just print, because the cost model's dilation floor builds on it.
+  u32 anomalies = 0;
   for (Shape s : {Shape{3, 3}, Shape{3, 5}, Shape{3, 6}, Shape{5, 5},
                   Shape{3, 3, 3}, Shape{5, 6}, Shape{7, 9}, Shape{3, 3, 7}}) {
     u32 bound = 0;
@@ -28,6 +32,7 @@ int main() {
     char below[64] = "(bound == minimal)";
     if (minimal < bound) {
       auto r = backtrack_search(Mesh(s), minimal, o);
+      if (r.map) ++anomalies;
       std::snprintf(below, sizeof below, "%s (%llu nodes)",
                     r.exhausted && !r.map ? "refuted"
                     : r.map              ? "FOUND?!"
@@ -35,6 +40,7 @@ int main() {
                     static_cast<unsigned long long>(r.nodes_expanded));
     }
     auto at = backtrack_search(Mesh(s), bound, o);
+    if (!at.map) ++anomalies;
     char atb[64];
     std::snprintf(atb, sizeof atb, "%s (%llu nodes)",
                   at.map ? "witness found" : "MISSING?!",
@@ -45,5 +51,10 @@ int main() {
   std::printf("\nEvery row with minimal < bound must read 'refuted', and "
               "every bound column\n'witness found' — Theorem 1 is tight on "
               "these shapes.\n");
+  if (anomalies) {
+    std::printf("E9: %u anomalous row(s) — Theorem 1 violated?!\n",
+                anomalies);
+    return 1;
+  }
   return 0;
 }

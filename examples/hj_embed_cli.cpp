@@ -41,6 +41,7 @@
 // registry as JSON / the span log as Chrome trace_event JSON (load the
 // latter in Perfetto or chrome://tracing). HJ_OBS=1 enables the hooks
 // without writing files.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -66,6 +67,7 @@ namespace {
 
 sim::FaultModel g_faults;
 bool g_have_faults = false;
+cost::Objective g_objective = cost::Objective::Lexicographic;
 sim::FaultSchedule g_schedule;
 bool g_have_schedule = false;
 std::string g_storm_spec;
@@ -92,6 +94,9 @@ void print_usage(const char* argv0) {
       "\n"
       "flags (any command, anywhere on the line):\n"
       "  --threads=N                parallel engine worker count\n"
+      "  --objective=<o>            planner ranking order: lexicographic\n"
+      "                             (default), dilation, wirelength,\n"
+      "                             congestion\n"
       "  --faults=<spec>            inject faults (node=5,link=3-7,p=0.01)\n"
       "  --fault-schedule=<file>    timed fault arrivals for recover\n"
       "  --storm=<spec>             storm shape for the storm command\n"
@@ -115,16 +120,22 @@ void write_obs_exports() {
     dump(g_trace_out, obs::Trace::global().to_json());
 }
 
+PlannerOptions planner_options() {
+  PlannerOptions opts;
+  opts.objective = g_objective;
+  return opts;
+}
+
 PlanResult plan_mesh(const Shape& shape) {
   if (g_have_faults && !g_faults.permanent().empty()) {
-    Planner planner;
+    Planner planner(planner_options());
     planner.set_direct_provider(search::make_search_provider());
     planner.set_degrade_provider(m2o::make_degrade_provider());
     return planner.plan_avoiding(shape, g_faults.permanent());
   }
   // Healthy planning goes through the batch engine (canonical-shape
   // dedup + shared factor cache), honouring --threads / HJ_THREADS.
-  return plan_batch({shape}, {},
+  return plan_batch({shape}, planner_options(),
                     [] { return search::make_search_provider(); })[0];
 }
 
@@ -168,7 +179,7 @@ int cmd_contract(int argc, char** argv) {
 
 int cmd_save(int argc, char** argv) {
   require(argc >= 4, "usage: save <file> l1 [l2 ...]");
-  Planner planner;
+  Planner planner(planner_options());
   planner.set_direct_provider(search::make_search_provider());
   PlanResult r = planner.plan(parse_shape(argc, argv, 3));
   io::save(*r.embedding, argv[2]);
@@ -336,7 +347,8 @@ int cmd_stats(int argc, char** argv) {
 
   ShardedPlanCache cache;
   const std::vector<PlanResult> plans = plan_batch(
-      shapes, {}, [] { return search::make_search_provider(); }, &cache);
+      shapes, planner_options(), [] { return search::make_search_provider(); },
+      &cache);
 
   // Run the stencil simulator on a handful of the small results (the
   // flit-level model walks every cycle; Q13 is plenty to populate the
@@ -376,6 +388,32 @@ int cmd_stats(int argc, char** argv) {
                      : 0.0,
               static_cast<unsigned long long>(batched),
               static_cast<unsigned long long>(unique));
+
+  // Optimality-gap columns (value / lower bound per certificate).
+  struct GapCol {
+    const char* name;
+    double sum = 0, max = 0;
+  } cols[3] = {{"dil"}, {"wl"}, {"cong"}};
+  for (const PlanResult& r : plans) {
+    const double g[3] = {
+        cost::gap(r.report.dilation, r.report.bounds.dilation),
+        cost::gap(static_cast<double>(r.report.wirelength),
+                  static_cast<double>(r.report.bounds.wirelength)),
+        cost::gap(r.report.congestion, r.report.bounds.congestion)};
+    for (int c = 0; c < 3; ++c) {
+      cols[c].sum += g[c];
+      cols[c].max = std::max(cols[c].max, g[c]);
+    }
+  }
+  std::printf("optimality gaps (objective %s):",
+              cost::objective_name(g_objective));
+  for (const GapCol& c : cols)
+    std::printf("  %s avg %.2fx max %.2fx",
+                c.name,
+                plans.empty() ? 1.0 : c.sum / static_cast<double>(plans.size()),
+                c.max);
+  std::printf("\n");
+
   std::printf("\n%s", reg.summary().c_str());
   return 0;
 }
@@ -400,6 +438,17 @@ int main(int argc, char** argv) {
         g_have_schedule = true;
       } else if (std::strncmp(argv[i], "--storm=", 8) == 0) {
         g_storm_spec = argv[i] + 8;
+      } else if (std::strncmp(argv[i], "--objective=", 12) == 0) {
+        const auto obj = cost::parse_objective(argv[i] + 12);
+        if (!obj) {
+          std::fprintf(stderr,
+                       "unknown objective '%s' (expected lexicographic, "
+                       "dilation, wirelength or congestion)\n\n",
+                       argv[i] + 12);
+          print_usage(argv[0]);
+          return 2;
+        }
+        g_objective = *obj;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {

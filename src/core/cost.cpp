@@ -1,0 +1,129 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+
+#include "core/hypercube.hpp"
+
+namespace hj::cost {
+
+const char* objective_name(Objective o) noexcept {
+  switch (o) {
+    case Objective::Lexicographic:
+      return "lexicographic";
+    case Objective::DilationFirst:
+      return "dilation";
+    case Objective::WirelengthFirst:
+      return "wirelength";
+    case Objective::CongestionFirst:
+      return "congestion";
+  }
+  return "lexicographic";
+}
+
+std::optional<Objective> parse_objective(std::string_view s) {
+  if (s == "lexicographic" || s == "lex" || s == "default")
+    return Objective::Lexicographic;
+  if (s == "dilation") return Objective::DilationFirst;
+  if (s == "wirelength") return Objective::WirelengthFirst;
+  if (s == "congestion") return Objective::CongestionFirst;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Three-key tiebreak shared by the measured objectives: strictly less
+/// on (k1, k2, k3).
+bool less3(u64 a1, u64 a2, u64 a3, u64 b1, u64 b2, u64 b3) noexcept {
+  if (a1 != b1) return a1 < b1;
+  if (a2 != b2) return a2 < b2;
+  return a3 < b3;
+}
+
+}  // namespace
+
+bool better(Objective o, const CostVector& c, const CostVector& i) noexcept {
+  if (c.cube != i.cube) return c.cube < i.cube;
+  switch (o) {
+    case Objective::Lexicographic:
+      // The historical order: dilation breaks cube ties, nothing else
+      // does (first candidate wins among full ties).
+      return c.dilation < i.dilation;
+    case Objective::DilationFirst:
+      return less3(c.dilation, c.wirelength, c.congestion, i.dilation,
+                   i.wirelength, i.congestion);
+    case Objective::WirelengthFirst:
+      return less3(c.wirelength, c.dilation, c.congestion, i.wirelength,
+                   i.dilation, i.congestion);
+    case Objective::CongestionFirst:
+      return less3(c.congestion, c.dilation, c.wirelength, i.congestion,
+                   i.dilation, i.wirelength);
+  }
+  return false;
+}
+
+u32 min_degree(const Mesh& guest) noexcept {
+  // The corner node: one link per non-degenerate axis, two when the axis
+  // wraps with length > 2 (a length-2 wrapped axis is a single edge).
+  u32 d = 0;
+  for (u32 i = 0; i < guest.dims(); ++i) {
+    if (guest.shape()[i] < 2) continue;
+    d += (guest.wraps(i) && guest.shape()[i] > 2) ? 2u : 1u;
+  }
+  return d;
+}
+
+Bounds lower_bounds(const Mesh& guest, u32 host_dim, bool one_to_one) {
+  Bounds b;
+  const Shape& s = guest.shape();
+  const u64 nodes = s.num_nodes();
+  const u64 edges = guest.num_edges();
+  const u64 cube = u64{1} << host_dim;
+
+  b.load = (nodes + cube - 1) / cube;
+  if (!one_to_one) {
+    // Collapsed edges have zero-length paths, so none of the edge- or
+    // injectivity-based floors survive; the occupancy floors do.
+    return b;
+  }
+
+  b.host_dim = s.minimal_cube_dim();
+  if (edges == 0) return b;
+
+  // Dilation: 1 for any embedded edge; 2 when dilation 1 is impossible —
+  // either the cube is below the Havel-Moravek dimension bound
+  // sum_i ceil(log2 l_i) (Theorem 1), or some wrapped axis is an odd
+  // cycle, which the bipartite cube cannot carry as a subgraph.
+  b.dilation = 1;
+  if (host_dim < s.gray_cube_dim()) b.dilation = 2;
+  for (u32 i = 0; i < s.dims(); ++i)
+    if (guest.wraps(i) && s[i] > 2 && (s[i] & 1)) b.dilation = 2;
+
+  // Wirelength: injectivity makes every edge cost at least one hop, and
+  // a forced dilation-2 embedding spends at least one extra hop
+  // somewhere. Independently, each of the n host dimension cuts splits
+  // the guest nontrivially whenever the guest overfills half the cube,
+  // and a nontrivial cut of a mesh/torus severs at least lambda = min
+  // degree edges; hop counts sum over the cuts (arXiv 1807.06787's
+  // cut-based bounds, in their mesh-guest form).
+  b.wirelength = edges + (b.dilation >= 2 ? 1 : 0);
+  if (host_dim > 0 && nodes > (cube >> 1)) {
+    const u64 cut_total = u64{host_dim} * min_degree(guest);
+    b.wirelength = std::max(b.wirelength, cut_total);
+  }
+
+  // Congestion: some link carries at least the average load
+  // wirelength / |E(Q_n)| (and at least one link is used at all).
+  const u64 host_edges = Hypercube(host_dim).num_edges();
+  b.congestion = 1;
+  if (host_edges > 0)
+    b.congestion = std::max<u32>(
+        1, static_cast<u32>((b.wirelength + host_edges - 1) / host_edges));
+  return b;
+}
+
+double gap(double value, double bound) noexcept {
+  if (bound <= 0.0) return 1.0;
+  return value / bound;
+}
+
+}  // namespace hj::cost

@@ -1,0 +1,121 @@
+// hjembed: the multi-objective cost model — metric values, computable
+// lower bounds, and optimality gaps.
+//
+// The paper measures embeddings by dilation, congestion, expansion and
+// load (Definitions 1-3, 5); the related work makes total wirelength a
+// first-class objective and derives computable lower bounds for all of
+// them (arXiv 1807.06787 for dilation/wirelength/congestion bounds,
+// arXiv 2302.13237 for exact wirelength analyses). This module is the
+// shared vocabulary: the verifier attaches Bounds to every certificate,
+// the planner ranks candidate plans by an Objective, and the reporting
+// layers print gap = value / bound so "which embedding is best" is a
+// measured, bounded answer rather than a convention.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/mesh.hpp"
+
+namespace hj::cost {
+
+/// Ranking order for candidate plans. Every objective keeps the host cube
+/// dimension as the primary key (trading expansion away would make Gray
+/// code win every secondary metric for free); the secondary keys decide
+/// ties between candidates reaching the same cube.
+enum class Objective : u8 {
+  /// (cube, dilation) — the historical first-wins order. The default;
+  /// reproduces the pre-cost-model planner bit-for-bit.
+  Lexicographic = 0,
+  /// (cube, dilation, wirelength, congestion).
+  DilationFirst,
+  /// (cube, wirelength, dilation, congestion).
+  WirelengthFirst,
+  /// (cube, congestion, dilation, wirelength).
+  CongestionFirst,
+};
+
+inline constexpr u32 kNumObjectives = 4;
+
+/// Canonical lowercase name ("lexicographic", "dilation", "wirelength",
+/// "congestion") — the spelling accepted by --objective= and emitted in
+/// bench rows and obs metric names.
+[[nodiscard]] const char* objective_name(Objective o) noexcept;
+
+/// Parse an --objective= value; accepts the canonical names plus the
+/// aliases "lex" and "default". Returns nullopt on anything else (the
+/// CLI turns that into a usage error, exit 2).
+[[nodiscard]] std::optional<Objective> parse_objective(std::string_view s);
+
+/// The metrics a candidate plan is ranked on. `wirelength` is the total
+/// edge-path length (== sum over cube links of their congestion).
+struct CostVector {
+  u32 cube = 0;
+  u32 dilation = 0;
+  u32 congestion = 0;
+  u64 wirelength = 0;
+};
+
+/// Strict "candidate beats incumbent" under `o`. Lexicographic compares
+/// (cube, dilation) only — exactly the historical planner order — so
+/// unmeasured (zero) congestion/wirelength fields are never consulted.
+[[nodiscard]] bool better(Objective o, const CostVector& candidate,
+                          const CostVector& incumbent) noexcept;
+
+/// True when ranking under `o` needs measured congestion/wirelength on
+/// every candidate (i.e. any objective other than Lexicographic).
+[[nodiscard]] constexpr bool needs_measurement(Objective o) noexcept {
+  return o != Objective::Lexicographic;
+}
+
+/// Computable lower bounds for embedding a fixed guest into a fixed Q_n.
+/// Every field is a floor for *any* embedding of that guest into that
+/// cube, so value / bound >= 1 is a certified optimality gap.
+struct Bounds {
+  /// ceil(log2 |V(G)|) — the minimal cube (Definition 1).
+  u32 host_dim = 0;
+  /// 0 for an edgeless guest; else 1; raised to 2 when a dilation-1
+  /// embedding is impossible in Q_n: the Havel-Moravek bound (Theorem 1,
+  /// exhaustively verified in E9) requires sum_i ceil(log2 l_i)
+  /// dimensions, and an odd wrapped axis is a non-bipartite cycle that no
+  /// subgraph of the (bipartite) cube can carry.
+  u32 dilation = 0;
+  /// max(1, ceil(wirelength / |E(Q_n)|)) for a guest with edges: the
+  /// average-congestion form of the cut bounds in arXiv 1807.06787.
+  u32 congestion = 0;
+  /// One-to-one embeddings: every guest edge costs >= 1 hop, +1 when
+  /// dilation 2 is forced (some edge must take two hops); independently,
+  /// summing the n host dimension cuts gives >= n * lambda(G) when the
+  /// guest overfills half the cube (each cut then separates the guest
+  /// nontrivially and lambda(G) = min degree for meshes/tori). The bound
+  /// is the max of the two.
+  u64 wirelength = 0;
+  /// ceil(|V(G)| / 2^n) (Definition 5; 1 for any one-to-one embedding).
+  u64 load = 0;
+
+  friend bool operator==(const Bounds& a, const Bounds& b) noexcept {
+    return a.host_dim == b.host_dim && a.dilation == b.dilation &&
+           a.congestion == b.congestion && a.wirelength == b.wirelength &&
+           a.load == b.load;
+  }
+};
+
+/// Compute the bounds for embedding `guest` into Q_{host_dim}.
+/// `one_to_one` relaxes nothing when true; when false (Section 7
+/// many-to-one), the edge-counting bounds are dropped — collapsed edges
+/// have zero-length paths — and only the load/host_dim floors remain.
+[[nodiscard]] Bounds lower_bounds(const Mesh& guest, u32 host_dim,
+                                  bool one_to_one);
+
+/// Optimality gap value / bound. A zero bound (edgeless guest,
+/// many-to-one) reports gap 1.0 when the value is also zero-or-better
+/// trivially, i.e. the metric is considered optimal by convention.
+[[nodiscard]] double gap(double value, double bound) noexcept;
+
+/// Min guest degree: the edge connectivity lambda of a mesh or torus
+/// (the cut floor used by the wirelength dimension-cut bound). Exposed
+/// for tests.
+[[nodiscard]] u32 min_degree(const Mesh& guest) noexcept;
+
+}  // namespace hj::cost

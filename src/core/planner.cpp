@@ -1,6 +1,7 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 
 #include "core/bitword.hpp"
@@ -29,11 +30,16 @@ SmallVec<u64, 16> divisors(u64 n) {
 
 u64 product_of(const Shape& s) { return s.num_nodes(); }
 
-PlanKey key_of(const Shape& shape, bool may_extend) {
+PlanKey key_of(const Shape& shape, bool may_extend, cost::Objective obj) {
   PlanKey k;
   k.extents = shape.extents();
   k.extend = may_extend;
+  k.objective = static_cast<u8>(obj);
   return k;
+}
+
+cost::CostVector cost_of(const PlanCacheEntry& e) {
+  return cost::CostVector{e.cube, e.dil, e.cong, e.wl};
 }
 
 }  // namespace
@@ -113,12 +119,40 @@ void Planner::set_degrade_provider(DegradeProvider provider) {
 
 void Planner::set_shared_cache(ShardedPlanCache* cache) { shared_ = cache; }
 
+void Planner::measure(Entry& e) const {
+  if (!cost::needs_measurement(opts_.objective) || !e.emb || e.measured)
+    return;
+  const VerifyReport r = verify(*e.emb);
+  e.dil = r.dilation;
+  e.cong = r.congestion;
+  e.wl = r.wirelength;
+  e.measured = true;
+}
+
+bool Planner::tie_viable() const {
+  return cost::needs_measurement(opts_.objective);
+}
+
 void Planner::consider(Entry& incumbent, Entry candidate) const {
   if (!candidate.emb) return;
-  if (!incumbent.emb || candidate.cube < incumbent.cube ||
-      (candidate.cube == incumbent.cube && candidate.dil < incumbent.dil)) {
+  measure(candidate);
+  if (!incumbent.emb) {
     incumbent = std::move(candidate);
+    return;
   }
+  if (!cost::better(opts_.objective, cost_of(candidate), cost_of(incumbent)))
+    return;
+  // Deterministic-kind: whether the objective's secondary keys overrode
+  // the historical order is a pure function of the two entries.
+  if (obs::enabled() &&
+      !cost::better(cost::Objective::Lexicographic, cost_of(candidate),
+                    cost_of(incumbent))) {
+    obs::Registry::global()
+        .counter(std::string("planner.wins.") +
+                 cost::objective_name(opts_.objective))
+        .add();
+  }
+  incumbent = std::move(candidate);
 }
 
 Planner::Entry Planner::gray_entry(const Shape& shape) const {
@@ -138,7 +172,7 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
         "planner.best_calls", obs::Kind::Timing);
     calls.add();
   }
-  const PlanKey key = key_of(shape, may_extend);
+  const PlanKey key = key_of(shape, may_extend, opts_.objective);
   if (auto it = memo_.find(key); it != memo_.end()) {
     if (obs::enabled()) {
       static obs::Counter& hits = obs::Registry::global().counter(
@@ -155,6 +189,7 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
   }
   // Seed the memo with the Gray fallback to cut recursion cycles short.
   Entry incumbent = gray_entry(shape);
+  measure(incumbent);
   memo_[key] = incumbent;
 
   const u32 minimal = shape.minimal_cube_dim();
@@ -174,7 +209,12 @@ Planner::Entry Planner::best(const Shape& shape, bool may_extend) {
       if (auto m = provider_(Mesh(shape), minimal)) {
         auto emb =
             std::make_shared<ExplicitEmbedding>(Mesh(shape), minimal, *m);
-        route_minimize_congestion(*emb);
+        // Non-dilation objectives get the balanced router's seeded
+        // dimension-order race; the default keeps the historical paths.
+        if (cost::needs_measurement(opts_.objective))
+          route_balanced(*emb);
+        else
+          route_minimize_congestion(*emb);
         Entry e;
         e.emb = std::move(emb);
         e.desc = "search " + shape.to_string();
@@ -223,8 +263,11 @@ void Planner::try_factorizations(const Shape& shape, Entry& incumbent) {
       Entry e;
       e.cube = e1.cube + e2.cube;
       e.dil = std::max(e1.dil, e2.dil);
+      // Under a measuring objective a cube tie can still win on the
+      // secondary metrics, so the candidate must be built and measured.
       if (!incumbent.emb || e.cube < incumbent.cube ||
-          (e.cube == incumbent.cube && e.dil < incumbent.dil)) {
+          (e.cube == incumbent.cube &&
+           (e.dil < incumbent.dil || tie_viable()))) {
         const Entry& inner = e1.dil <= e2.dil ? e1 : e2;
         const Entry& outer = e1.dil <= e2.dil ? e2 : e1;
         e.emb = std::make_shared<MeshProductEmbedding>(inner.emb, outer.emb);
@@ -255,7 +298,8 @@ void Planner::try_extensions(const Shape& shape, Entry& incumbent) {
       e.cube = grown.cube;
       e.dil = grown.dil;
       if (grown.cube < incumbent.cube ||
-          (grown.cube == incumbent.cube && grown.dil < incumbent.dil)) {
+          (grown.cube == incumbent.cube &&
+           (grown.dil < incumbent.dil || tie_viable()))) {
         e.emb = std::make_shared<SubmeshEmbedding>(grown.emb, shape);
         e.desc = "sub<" + shape.to_string() + ">(" + grown.desc + ")";
         consider(incumbent, std::move(e));
@@ -293,7 +337,8 @@ void Planner::try_pattern_extension(const Shape& shape, Entry& incumbent) {
     if (!table) continue;
     auto inner = std::make_shared<GrayEmbedding>(Mesh(Shape{inner_ext}));
     const u32 cube = inner->host_dim() + (*table)->host_dim();
-    if (cube >= incumbent.cube) continue;
+    if (cube > incumbent.cube || (cube == incumbent.cube && !tie_viable()))
+      continue;
     auto prod = std::make_shared<MeshProductEmbedding>(inner, *table);
     Entry e;
     e.cube = cube;
@@ -311,15 +356,32 @@ void Planner::try_pattern_extension(const Shape& shape, Entry& incumbent) {
 PlanResult Planner::plan(const Shape& shape) {
   HJ_SPAN("plan");
   if (obs::enabled()) {
-    static obs::Counter& plans =
-        obs::Registry::global().counter("planner.plans");
+    auto& reg = obs::Registry::global();
+    static obs::Counter& plans = reg.counter("planner.plans");
     plans.add();
+    reg.counter(std::string("planner.plans.") +
+                cost::objective_name(opts_.objective))
+        .add();
   }
   Entry e = best(shape, opts_.allow_extension);
   PlanResult out;
   out.embedding = e.emb;
   out.report = verify(*e.emb);
   out.plan = e.desc;
+  // Non-default objectives record the achieved gaps in the plan string
+  // (the default keeps the historical strings, which golden tests pin).
+  if (opts_.objective != cost::Objective::Lexicographic) {
+    const VerifyReport& r = out.report;
+    char buf[128];
+    std::snprintf(
+        buf, sizeof buf, " [obj=%s wl %llu (%.2fx) cong %u (%.2fx)]",
+        cost::objective_name(opts_.objective),
+        static_cast<unsigned long long>(r.wirelength),
+        cost::gap(static_cast<double>(r.wirelength),
+                  static_cast<double>(r.bounds.wirelength)),
+        r.congestion, cost::gap(r.congestion, r.bounds.congestion));
+    out.plan += buf;
+  }
   return out;
 }
 

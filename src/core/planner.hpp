@@ -59,6 +59,13 @@ struct PlannerOptions {
   bool allow_extension = true;
   /// Guests at most this large are offered to the direct provider.
   u64 provider_max_nodes = 150;
+  /// Ranking order for candidate plans. The Lexicographic default is the
+  /// historical (cube, dilation) first-wins order and reproduces the
+  /// pre-cost-model planner bit-for-bit; any other objective measures
+  /// every candidate (verify() per candidate) and re-ranks ties by
+  /// wirelength/congestion, with the balanced router racing dimension
+  /// orders on search-based node maps.
+  cost::Objective objective = cost::Objective::Lexicographic;
 };
 
 struct PlanResult {
@@ -79,6 +86,12 @@ struct PlanCacheEntry {
   std::string desc;
   u32 cube = 0;
   u32 dil = 0;
+  /// Measured secondary metrics, filled (measured = true) only when the
+  /// planner's objective needs them; Lexicographic planning never
+  /// measures, so the historical fast path is untouched.
+  u32 cong = 0;
+  u64 wl = 0;
+  bool measured = false;
 };
 
 /// Packed memo key: the shape extents plus the extension flag. The memo
@@ -90,16 +103,23 @@ struct PlanCacheEntry {
 struct PlanKey {
   SmallVec<u64, 4> extents;
   bool extend = false;
+  /// The planning objective (cost::Objective), part of the key: plans
+  /// ranked under different objectives are different values, and the
+  /// shared cache must never serve one objective's plan to another.
+  u8 objective = 0;
 
   friend bool operator==(const PlanKey& a, const PlanKey& b) noexcept {
-    return a.extend == b.extend && a.extents == b.extents;
+    return a.extend == b.extend && a.objective == b.objective &&
+           a.extents == b.extents;
   }
 };
 
 struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const noexcept {
-    // FNV-1a over the extents, seeded with the extension flag.
-    u64 h = 14695981039346656037ull ^ static_cast<u64>(k.extend);
+    // FNV-1a over the extents, seeded with the extension flag and the
+    // objective tag.
+    u64 h = 14695981039346656037ull ^ static_cast<u64>(k.extend) ^
+            (static_cast<u64>(k.objective) << 1);
     for (u64 e : k.extents) {
       h ^= e;
       h *= 1099511628211ull;
@@ -188,6 +208,12 @@ class Planner {
 
   Entry best(const Shape& shape, bool may_extend);
   void consider(Entry& incumbent, Entry candidate) const;
+  /// Fill candidate.cong/wl (one verify()) when the objective ranks on
+  /// them; a no-op under Lexicographic or when already measured.
+  void measure(Entry& e) const;
+  /// True when a cube tie is still worth building under the objective
+  /// (non-lex objectives can win ties on secondary metrics).
+  [[nodiscard]] bool tie_viable() const;
   Entry gray_entry(const Shape& shape) const;
   void try_factorizations(const Shape& shape, Entry& incumbent);
   void try_extensions(const Shape& shape, Entry& incumbent);

@@ -29,6 +29,14 @@ class LinkLoads {
     for (const auto& [k, v] : loads_) m = std::max(m, v);
     return static_cast<u32>(m);
   }
+  /// Sum of squared link loads — the balance score used by
+  /// route_balanced (order-independent, so iterating the map is safe).
+  [[nodiscard]] u64 sum_squares() const {
+    u64 s = 0;
+    for (const auto& [k, v] : loads_)
+      s += static_cast<u64>(v) * static_cast<u64>(v);
+    return s;
+  }
 
  private:
   std::unordered_map<u64, i32> loads_;
@@ -110,6 +118,149 @@ RouteStats route_minimize_congestion(ExplicitEmbedding& emb, u32 max_passes) {
 
   stats.congestion = loads.max_load();
   return stats;
+}
+
+namespace {
+
+/// splitmix64 finalizer: route_balanced's permutation stream must be a
+/// pure function of the candidate index.
+u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Shortest path from a to b fixing the differing bits in increasing
+/// priority order (prio[bit] = rank; the identity ranking reproduces
+/// Hypercube::ecube_path exactly).
+CubePath prio_path(CubeNode a, CubeNode b, const std::vector<u32>& prio) {
+  std::vector<u32> bits;
+  for (u32 bit = 0; bit < prio.size(); ++bit)
+    if ((a ^ b) >> bit & 1) bits.push_back(bit);
+  std::sort(bits.begin(), bits.end(),
+            [&](u32 x, u32 y) { return prio[x] < prio[y]; });
+  CubePath p;
+  p.push_back(a);
+  CubeNode cur = a;
+  for (u32 bit : bits) {
+    cur ^= u64{1} << bit;
+    p.push_back(cur);
+  }
+  return p;
+}
+
+}  // namespace
+
+RouteStats route_balanced(ExplicitEmbedding& emb, u32 candidates,
+                          u32 max_passes) {
+  const u32 dim = emb.host_dim();
+
+  struct LongEdge {
+    MeshEdge edge;
+    CubeNode a, b;
+  };
+  LinkLoads base;  // forced single-hop loads, shared by every candidate
+  std::vector<LongEdge> longs;
+  emb.guest().for_each_edge([&](const MeshEdge& e) {
+    const CubeNode a = emb.map(e.a), b = emb.map(e.b);
+    const u32 h = hamming(a, b);
+    if (h == 0) return;  // many-to-one collapse: no path
+    if (h == 1) {
+      base.add(a, b, 1);
+      return;
+    }
+    longs.push_back({e, a, b});
+  });
+
+  RouteStats stats;
+  if (longs.empty()) {
+    stats.congestion = base.max_load();
+    return stats;
+  }
+
+  std::vector<CubePath> best_paths;
+  u64 best_score = ~u64{0};
+  RouteStats best_stats;
+
+  std::vector<u32> prio(dim);
+  for (u32 k = 0; k < std::max<u32>(1, candidates); ++k) {
+    // Candidate 0 is the identity (the default e-cube bit order); the
+    // rest are Fisher-Yates shuffles seeded by the candidate index only.
+    std::vector<u32> order(dim);
+    for (u32 i = 0; i < dim; ++i) order[i] = i;
+    if (k) {
+      u64 s = k;
+      for (u32 i = dim; i > 1; --i) {
+        s = mix64(s);
+        std::swap(order[i - 1], order[s % i]);
+      }
+    }
+    for (u32 i = 0; i < dim; ++i) prio[order[i]] = i;
+
+    LinkLoads loads = base;
+    std::vector<CubePath> paths(longs.size());
+    std::vector<TwoHopEdge> twos;  // improvement targets (index into paths)
+    std::vector<std::size_t> two_slot;
+    for (std::size_t i = 0; i < longs.size(); ++i) {
+      const LongEdge& e = longs[i];
+      paths[i] = prio_path(e.a, e.b, prio);
+      for (std::size_t j = 0; j + 1 < paths[i].size(); ++j)
+        loads.add(paths[i][j], paths[i][j + 1], 1);
+      if (paths[i].size() == 3) {
+        const u64 diff = e.a ^ e.b;
+        const u64 bit1 = diff & (~diff + 1);
+        const u64 bit2 = diff ^ bit1;
+        TwoHopEdge t{e.edge, e.a, e.b, {e.a ^ bit1, e.a ^ bit2}, 0};
+        t.choice = paths[i][1] == t.mid[0] ? 0u : 1u;
+        twos.push_back(t);
+        two_slot.push_back(i);
+      }
+    }
+
+    // The same local improvement as route_minimize_congestion, on this
+    // candidate's loads.
+    RouteStats cand_stats;
+    for (u32 pass = 0; pass < max_passes; ++pass) {
+      bool changed = false;
+      for (TwoHopEdge& t : twos) {
+        loads.add(t.a, t.mid[t.choice], -1);
+        loads.add(t.mid[t.choice], t.b, -1);
+        const u32 best = midpoint_cost(loads, t.a, t.mid[0], t.b) <=
+                                 midpoint_cost(loads, t.a, t.mid[1], t.b)
+                             ? 0u
+                             : 1u;
+        if (best != t.choice) {
+          t.choice = best;
+          changed = true;
+          ++cand_stats.rerouted_edges;
+        }
+        loads.add(t.a, t.mid[t.choice], 1);
+        loads.add(t.mid[t.choice], t.b, 1);
+      }
+      cand_stats.passes_used = pass + 1;
+      if (!changed) break;
+    }
+    for (std::size_t j = 0; j < twos.size(); ++j)
+      paths[two_slot[j]] =
+          CubePath{twos[j].a, twos[j].mid[twos[j].choice], twos[j].b};
+
+    // Worst link load, then sum of squared loads: strictly-better-only
+    // replacement keeps the default order on ties.
+    cand_stats.congestion = loads.max_load();
+    const u64 score =
+        (u64{cand_stats.congestion} << 40) |
+        std::min<u64>(loads.sum_squares(), (u64{1} << 40) - 1);
+    if (score < best_score) {
+      best_score = score;
+      best_paths = std::move(paths);
+      best_stats = cand_stats;
+    }
+  }
+
+  for (std::size_t i = 0; i < longs.size(); ++i)
+    emb.set_edge_path(longs[i].edge, best_paths[i]);
+  return best_stats;
 }
 
 namespace {

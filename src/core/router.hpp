@@ -25,6 +25,22 @@ struct RouteStats {
 RouteStats route_minimize_congestion(ExplicitEmbedding& emb,
                                      u32 max_passes = 16);
 
+/// Congestion/wirelength-aware variant for the multi-objective planner:
+/// race `candidates` dimension-order permutations against the default
+/// fixed (e-cube) order and keep the best. Candidate 0 is the identity
+/// (exactly the default order); the rest are Fisher-Yates shuffles drawn
+/// from a splitmix64 stream seeded only by the candidate index, so the
+/// scan is a pure function of (emb, candidates, max_passes) — bit
+/// identical across runs and thread counts. Each candidate lays every
+/// >= 2-hop edge along its bit order, runs the same two-hop improvement
+/// passes as route_minimize_congestion, and is scored by max link load
+/// then sum of squared loads (balance); ties keep the lowest index, so
+/// the default order wins unless a permutation strictly helps. All paths
+/// stay shortest, so wirelength is untouched — this is a congestion
+/// lever only.
+RouteStats route_balanced(ExplicitEmbedding& emb, u32 candidates = 8,
+                          u32 max_passes = 16);
+
 struct DetourStats {
   /// True iff every fault-affected edge found a healthy replacement path
   /// within the dilation budget (and no endpoint image is a failed node —

@@ -241,6 +241,12 @@ VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
   u64 csum = 0, cused = 0;
   cong.collect(cmax, csum, cused, r.congestion_histogram);
   r.congestion = cmax;
+  // The double-counting identity: total path length == total link load.
+  // Both sides count hops — a hop is one unit of wirelength on the path
+  // side and one unit of load on the link it occupies.
+  r.wirelength = dil_sum;
+  assert(csum == dil_sum);
+  static_cast<void>(csum);
   const u64 host_edges = host.num_edges();
   if (!r.congestion_histogram.empty())
     r.congestion_histogram[0] = host_edges - cused;
@@ -250,6 +256,7 @@ VerifyReport verify_impl(const Embedding& emb, const FaultSet* faults) {
       host_edges ? static_cast<double>(csum) / static_cast<double>(host_edges)
                  : 0.0;
 
+  r.bounds = cost::lower_bounds(guest, r.host_dim, emb.one_to_one());
   return r;
 }
 
@@ -310,8 +317,26 @@ std::string summary(const VerifyReport& r, const Embedding& emb) {
   return out;
 }
 
+std::string gap_summary(const VerifyReport& r) {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "bounds: dil %u/%u (%.2fx), wl %llu/%llu (%.2fx), cong %u/%u (%.2fx)",
+      r.dilation, r.bounds.dilation,
+      cost::gap(r.dilation, r.bounds.dilation),
+      static_cast<unsigned long long>(r.wirelength),
+      static_cast<unsigned long long>(r.bounds.wirelength),
+      cost::gap(static_cast<double>(r.wirelength),
+                static_cast<double>(r.bounds.wirelength)),
+      r.congestion, r.bounds.congestion,
+      cost::gap(r.congestion, r.bounds.congestion));
+  return buf;
+}
+
 std::string detailed_summary(const VerifyReport& r, const Embedding& emb) {
   std::string out = summary(r, emb);
+  out += "\n  ";
+  out += gap_summary(r);
   out += "\n  dilation histogram:   ";
   for (std::size_t d = 0; d < r.dilation_histogram.size(); ++d) {
     out += 'd';

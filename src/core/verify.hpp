@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost.hpp"
 #include "core/embedding.hpp"
 #include "core/fault.hpp"
 
@@ -38,6 +39,19 @@ struct VerifyReport {
   u32 dilation = 0;
   double avg_dilation = 0.0;
   std::vector<u64> dilation_histogram;  // histogram[d] = #edges of dilation d
+
+  /// Total wirelength: the sum of all edge-path lengths. Satisfies the
+  /// double-counting identity
+  ///   wirelength == sum_d d * dilation_histogram[d]
+  ///              == sum_c c * congestion_histogram[c]
+  /// (every hop is one unit of path length and one unit of load on one
+  /// cube link); the verifier asserts it.
+  u64 wirelength = 0;
+
+  /// Computable lower bounds for this guest in this cube (cost model;
+  /// arXiv 1807.06787-style). Every bound is <= its measured value, so
+  /// value / bound is a certified optimality gap >= 1.
+  cost::Bounds bounds;
 
   /// Definition 3. Maximum and mean number of guest edge paths crossing a
   /// cube edge. The mean is taken over all |E(H)| cube edges, as in the
@@ -87,9 +101,16 @@ struct VerifyReport {
 [[nodiscard]] std::string summary(const VerifyReport& r,
                                   const Embedding& emb);
 
-/// Multi-line report with the dilation and congestion histograms.
+/// Multi-line report with the dilation and congestion histograms and the
+/// lower-bound gap line.
 [[nodiscard]] std::string detailed_summary(const VerifyReport& r,
                                            const Embedding& emb);
+
+/// One-line optimality-gap report, e.g.
+/// "bounds: dil 2/2 (1.00x), wl 160/139 (1.15x), cong 2/1 (2.00x)".
+/// Values are the measured metrics, denominators the certified lower
+/// bounds from the cost model.
+[[nodiscard]] std::string gap_summary(const VerifyReport& r);
 
 /// Inverse placement table: for every cube node, the guest index mapped
 /// there, or -1 for unused nodes. For many-to-one embeddings the last

@@ -1,0 +1,154 @@
+// Unit tests for the cost model (core/cost.hpp): objective parsing and
+// ordering, the measurement predicate, the min-degree cut floor, the
+// closed-form lower bounds on known shapes, and the gap conventions.
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+
+namespace hj::cost {
+namespace {
+
+TEST(Cost, ObjectiveNamesRoundTripThroughParse) {
+  for (u32 i = 0; i < kNumObjectives; ++i) {
+    const auto o = static_cast<Objective>(i);
+    const auto parsed = parse_objective(objective_name(o));
+    ASSERT_TRUE(parsed.has_value()) << objective_name(o);
+    EXPECT_EQ(*parsed, o);
+  }
+}
+
+TEST(Cost, ParseAcceptsAliasesAndRejectsJunk) {
+  EXPECT_EQ(parse_objective("lex"), Objective::Lexicographic);
+  EXPECT_EQ(parse_objective("default"), Objective::Lexicographic);
+  EXPECT_EQ(parse_objective("wirelength"), Objective::WirelengthFirst);
+  EXPECT_EQ(parse_objective("dilation"), Objective::DilationFirst);
+  EXPECT_EQ(parse_objective("congestion"), Objective::CongestionFirst);
+  EXPECT_EQ(parse_objective("bogus"), std::nullopt);
+  EXPECT_EQ(parse_objective(""), std::nullopt);
+  EXPECT_EQ(parse_objective("Lexicographic"), std::nullopt);  // case matters
+  EXPECT_EQ(parse_objective("wirelength "), std::nullopt);
+}
+
+TEST(Cost, NeedsMeasurementOnlyForNonLexicographic) {
+  static_assert(!needs_measurement(Objective::Lexicographic));
+  static_assert(needs_measurement(Objective::DilationFirst));
+  static_assert(needs_measurement(Objective::WirelengthFirst));
+  static_assert(needs_measurement(Objective::CongestionFirst));
+}
+
+TEST(Cost, CubeIsThePrimaryKeyUnderEveryObjective) {
+  // A smaller cube wins regardless of arbitrarily worse secondary
+  // metrics, under every objective.
+  const CostVector small{5, 2, 9, 999};
+  const CostVector large{6, 1, 1, 1};
+  for (u32 i = 0; i < kNumObjectives; ++i) {
+    const auto o = static_cast<Objective>(i);
+    EXPECT_TRUE(better(o, small, large)) << objective_name(o);
+    EXPECT_FALSE(better(o, large, small)) << objective_name(o);
+  }
+}
+
+TEST(Cost, LexicographicIgnoresSecondaryMetrics) {
+  // Same cube, same dilation: never "better", even with a huge
+  // wirelength/congestion edge — first candidate wins ties, exactly the
+  // historical planner order.
+  const CostVector a{6, 2, 1, 100};
+  const CostVector b{6, 2, 9, 900};
+  EXPECT_FALSE(better(Objective::Lexicographic, a, b));
+  EXPECT_FALSE(better(Objective::Lexicographic, b, a));
+  // Dilation still breaks cube ties.
+  const CostVector d1{6, 1, 9, 900};
+  EXPECT_TRUE(better(Objective::Lexicographic, d1, a));
+}
+
+TEST(Cost, MeasuredObjectivesOrderTheirKeys) {
+  const CostVector base{6, 2, 3, 500};
+  // Better wirelength, worse dilation.
+  const CostVector wl{6, 3, 3, 400};
+  EXPECT_TRUE(better(Objective::WirelengthFirst, wl, base));
+  EXPECT_FALSE(better(Objective::DilationFirst, wl, base));
+  // Better congestion, worse wirelength.
+  const CostVector cong{6, 2, 2, 600};
+  EXPECT_TRUE(better(Objective::CongestionFirst, cong, base));
+  EXPECT_FALSE(better(Objective::WirelengthFirst, cong, base));
+  // DilationFirst: equal dilation falls through to wirelength.
+  const CostVector wl2{6, 2, 9, 400};
+  EXPECT_TRUE(better(Objective::DilationFirst, wl2, base));
+  // Full tie is never strictly better.
+  EXPECT_FALSE(better(Objective::DilationFirst, base, base));
+  EXPECT_FALSE(better(Objective::WirelengthFirst, base, base));
+  EXPECT_FALSE(better(Objective::CongestionFirst, base, base));
+}
+
+TEST(Cost, MinDegreeCountsNonDegenerateAxes) {
+  EXPECT_EQ(min_degree(Mesh(Shape{5})), 1u);
+  EXPECT_EQ(min_degree(Mesh(Shape{3, 4})), 2u);
+  EXPECT_EQ(min_degree(Mesh(Shape{3, 3, 3})), 3u);
+  EXPECT_EQ(min_degree(Mesh(Shape{1, 7})), 1u);     // length-1 axis: none
+  EXPECT_EQ(min_degree(Mesh::torus(Shape{3, 3})), 4u);
+  // A wrapped length-2 axis is a single edge, not a 2-cycle.
+  EXPECT_EQ(min_degree(Mesh::torus(Shape{2, 5})), 3u);
+}
+
+TEST(Cost, LowerBoundsOnPaperShape3x3x3) {
+  // 3x3x3 in Q5: 27 nodes, 54 edges, minimal cube 5 < Gray cube 6, so
+  // dilation 1 is impossible (Theorem 1) and one extra hop is forced.
+  const Bounds b = lower_bounds(Mesh(Shape{3, 3, 3}), 5, true);
+  EXPECT_EQ(b.host_dim, 5u);
+  EXPECT_EQ(b.dilation, 2u);
+  EXPECT_EQ(b.wirelength, 55u);  // 54 edges + 1 forced second hop
+  EXPECT_EQ(b.congestion, 1u);   // ceil(55 / 80) = 1
+  EXPECT_EQ(b.load, 1u);
+}
+
+TEST(Cost, LowerBoundsGrayMinimalShapeAllowsDilationOne) {
+  // 4x4 in Q4 is Gray-minimal: dilation floor 1, wirelength floor is the
+  // edge count (24 > the 4 * 2 dimension-cut total).
+  const Bounds b = lower_bounds(Mesh(Shape{4, 4}), 4, true);
+  EXPECT_EQ(b.host_dim, 4u);
+  EXPECT_EQ(b.dilation, 1u);
+  EXPECT_EQ(b.wirelength, 24u);
+  EXPECT_EQ(b.congestion, 1u);
+  EXPECT_EQ(b.load, 1u);
+}
+
+TEST(Cost, OddWrappedAxisForcesDilationTwo) {
+  // C5 in Q3: an odd cycle is non-bipartite, so no subgraph embedding
+  // exists even though host_dim == gray_cube_dim. The dimension-cut
+  // floor (3 cuts * degree 2) meets the edge floor (5 + 1) at 6.
+  const Bounds b = lower_bounds(Mesh::torus(Shape{5}), 3, true);
+  EXPECT_EQ(b.dilation, 2u);
+  EXPECT_EQ(b.wirelength, 6u);
+  // Even cycles stay embeddable: C8 in Q3 has dilation floor 1.
+  EXPECT_EQ(lower_bounds(Mesh::torus(Shape{8}), 3, true).dilation, 1u);
+}
+
+TEST(Cost, ManyToOneKeepsOnlyOccupancyFloors) {
+  // Collapsed edges route in zero hops, so every edge-based floor is
+  // dropped; the load floor ceil(27 / 16) = 2 survives.
+  const Bounds b = lower_bounds(Mesh(Shape{3, 3, 3}), 4, false);
+  EXPECT_EQ(b.host_dim, 0u);
+  EXPECT_EQ(b.dilation, 0u);
+  EXPECT_EQ(b.wirelength, 0u);
+  EXPECT_EQ(b.congestion, 0u);
+  EXPECT_EQ(b.load, 2u);
+}
+
+TEST(Cost, EdgelessGuestHasNoEdgeFloors) {
+  const Bounds b = lower_bounds(Mesh(Shape{1}), 0, true);
+  EXPECT_EQ(b.dilation, 0u);
+  EXPECT_EQ(b.wirelength, 0u);
+  EXPECT_EQ(b.congestion, 0u);
+  EXPECT_EQ(b.load, 1u);
+}
+
+TEST(Cost, GapConventions) {
+  EXPECT_DOUBLE_EQ(gap(55.0, 55.0), 1.0);
+  EXPECT_DOUBLE_EQ(gap(110.0, 55.0), 2.0);
+  // Zero bound (edgeless / many-to-one): optimal by convention.
+  EXPECT_DOUBLE_EQ(gap(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(gap(7.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hj::cost

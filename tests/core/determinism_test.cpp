@@ -35,6 +35,8 @@ void expect_same_report(const VerifyReport& a, const VerifyReport& b) {
   EXPECT_EQ(a.dilation, b.dilation);
   EXPECT_EQ(a.avg_dilation, b.avg_dilation);
   EXPECT_EQ(a.dilation_histogram, b.dilation_histogram);
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_TRUE(a.bounds == b.bounds);
   EXPECT_EQ(a.congestion, b.congestion);
   EXPECT_EQ(a.avg_congestion, b.avg_congestion);
   EXPECT_EQ(a.congestion_histogram, b.congestion_histogram);
@@ -139,6 +141,34 @@ TEST(Determinism, PlanBatchIdenticalAtEveryThreadCount) {
                    " threads");
       EXPECT_EQ(results[i].plan, reference[i].plan);
       expect_same_report(results[i].report, reference[i].report);
+    }
+  }
+}
+
+TEST(Determinism, PlanBatchIdenticalPerObjectiveAtEveryThreadCount) {
+  // The multi-objective planner must stay bit-identical across thread
+  // counts for *every* objective, not just the lexicographic default:
+  // non-lex objectives verify candidates and race the balanced router,
+  // so any nondeterminism there would leak into plan strings or metrics.
+  const ThreadOverrideGuard guard;
+  const std::vector<Shape> shapes = seeded_shapes(16);
+  for (u32 obj = 0; obj < cost::kNumObjectives; ++obj) {
+    PlannerOptions opts;
+    opts.objective = static_cast<cost::Objective>(obj);
+    SCOPED_TRACE(std::string("objective ") +
+                 cost::objective_name(opts.objective));
+    par::set_thread_override(1);
+    const std::vector<PlanResult> reference = plan_batch(shapes, opts);
+    for (u32 threads : kThreadCounts) {
+      par::set_thread_override(threads);
+      const std::vector<PlanResult> results = plan_batch(shapes, opts);
+      ASSERT_EQ(results.size(), reference.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE(shapes[i].to_string() + " at " +
+                     std::to_string(threads) + " threads");
+        EXPECT_EQ(results[i].plan, reference[i].plan);
+        expect_same_report(results[i].report, reference[i].report);
+      }
     }
   }
 }

@@ -16,18 +16,23 @@ struct GoldenRow {
   u32 dilation;
   u32 congestion;
   u32 expansion_log2;  // host_dim - minimal_cube_dim; 0 = minimal cube
+  u64 wirelength;      // total edge-path length of the chosen plan
+  u64 wl_lb;           // cost-model wirelength lower bound for the cube
   const char* plan;
 };
 
 // Snapshot of the planner's output with the default search provider.
 // 3x3x3 -> Q5 and 3x3x7 -> Q6 are the paper's direct tables; the other
-// three are Section 5 worked examples solved by decomposition.
+// three are Section 5 worked examples solved by decomposition. The
+// wirelength column pins the chosen paths, not just the plan tree, and
+// the wl_lb column pins the cost model's bound (gap = wl / wl_lb).
 const GoldenRow kGolden[] = {
-    {Shape{3, 3, 3}, 2, 2, 0, "direct 3x3x3"},
-    {Shape{3, 3, 7}, 2, 2, 0, "direct 3x3x7"},
-    {Shape{5, 5, 8}, 2, 2, 0, "(gray 1x1x2 * search 5x5x4)"},
-    {Shape{6, 6, 17}, 2, 2, 0, "(gray 2x1x1 * (gray 3x1x1 * search 1x6x17))"},
-    {Shape{9, 12, 21}, 2, 2, 0,
+    {Shape{3, 3, 3}, 2, 2, 0, 76, 55, "direct 3x3x3"},
+    {Shape{3, 3, 7}, 2, 2, 0, 182, 139, "direct 3x3x7"},
+    {Shape{5, 5, 8}, 2, 2, 0, 559, 496, "(gray 1x1x2 * search 5x5x4)"},
+    {Shape{6, 6, 17}, 2, 2, 0, 1710, 1597,
+     "(gray 2x1x1 * (gray 3x1x1 * search 1x6x17))"},
+    {Shape{9, 12, 21}, 2, 2, 0, 6732, 6256,
      "(gray 3x1x1 * (gray 3x1x1 * (gray 1x2x1 * search 1x6x21)))"},
 };
 
@@ -42,6 +47,11 @@ TEST(GoldenMetrics, PaperWorkedExamplesAreStable) {
     EXPECT_EQ(r.report.congestion, g.congestion);
     EXPECT_EQ(r.report.host_dim - g.shape.minimal_cube_dim(),
               g.expansion_log2);
+    EXPECT_EQ(r.report.wirelength, g.wirelength);
+    EXPECT_EQ(r.report.bounds.wirelength, g.wl_lb);
+    EXPECT_GE(cost::gap(static_cast<double>(r.report.wirelength),
+                        static_cast<double>(r.report.bounds.wirelength)),
+              1.0);
     EXPECT_EQ(r.plan, g.plan);
   }
 }

@@ -104,6 +104,26 @@ TEST(PlannerProperty, RandomShapesSatisfyPaperInvariants) {
     for (u64 c : rep.dilation_histogram) edges_binned += c;
     EXPECT_EQ(edges_binned, rep.guest_edges);
 
+    // Wirelength double-counting identity: total edge-path length equals
+    // both Sum d * dil_hist[d] (guest-side) and Sum c * cong_hist[c]
+    // (host-side link loads) — the same links counted from either end.
+    u64 wl_guest = 0;
+    for (std::size_t d = 0; d < rep.dilation_histogram.size(); ++d)
+      wl_guest += d * rep.dilation_histogram[d];
+    u64 wl_host = 0;
+    for (std::size_t c = 0; c < rep.congestion_histogram.size(); ++c)
+      wl_host += c * rep.congestion_histogram[c];
+    EXPECT_EQ(rep.wirelength, wl_guest) << r.plan;
+    EXPECT_EQ(rep.wirelength, wl_host) << r.plan;
+
+    // Every cost-model lower bound must be dominated by the measured
+    // metric it bounds — a bound above its value would refute the model.
+    EXPECT_LE(rep.bounds.host_dim, rep.host_dim) << r.plan;
+    EXPECT_LE(rep.bounds.dilation, rep.dilation) << r.plan;
+    EXPECT_LE(rep.bounds.wirelength, rep.wirelength) << r.plan;
+    EXPECT_LE(rep.bounds.congestion, rep.congestion) << r.plan;
+    EXPECT_LE(rep.bounds.load, rep.load_factor) << r.plan;
+
     if (rep.minimal_expansion) ++minimal_hits;
   }
   // The generator leans on coverable families; most shapes should reach

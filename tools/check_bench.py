@@ -18,6 +18,11 @@ Checks, per file (schema chosen by basename):
         certified/degraded/failed with consistent delivery accounting,
         and each survival row's verdict counts sum to its run count and
         match the storm rows of its (shape, kind, events) cell
+      - BENCH_bounds*: every bounds row has value >= lower bound and
+        gap == value / bound >= 1.0 for dilation/wirelength/congestion,
+        every equivalence row is identical (the lexicographic default
+        reproduces the historical planner), and the wirelength
+        objective's wins row shows >= 1 win at dilation <= 2
 
 Exits 1 on the first file with violations; prints every violation found.
 """
@@ -62,6 +67,23 @@ STORM_SURVIVAL = {
     "runs": int, "certified": int, "degraded": int, "failed": int,
 }
 VERDICTS = ("certified", "degraded", "failed")
+BOUNDS_ROW = {
+    "row": str, "shape": str, "objective": str, "host_dim": int,
+    "method": str, "nodes": int, "edges": int, "minimal": bool,
+    "dilation": int, "dil_lb": int, "dil_gap": (int, float),
+    "wirelength": int, "wl_lb": int, "wl_gap": (int, float),
+    "congestion": int, "cong_lb": int, "cong_gap": (int, float),
+    "load": int, "load_lb": int,
+}
+BOUNDS_EQUIVALENCE = {
+    "row": str, "shape": str, "default_method": str, "lex_method": str,
+    "identical": bool,
+}
+BOUNDS_WINS = {
+    "row": str, "objective": str, "planned": int, "wins": int,
+    "wins_dil2": int, "losses": int, "metric_saved": int,
+}
+OBJECTIVES = ("lexicographic", "dilation", "wirelength", "congestion")
 
 
 def check_types(row, schema, errors, where, required=True):
@@ -179,6 +201,57 @@ def check_storm(rows, errors):
         errors.append(f"storm rows for {key} have no survival row")
 
 
+def check_bounds(rows, errors):
+    wl_wins_dil2 = None
+    for lineno, row in rows:
+        where = f"line {lineno}"
+        kind = row.get("row")
+        if kind == "bounds":
+            check_types(row, BOUNDS_ROW, errors, where)
+            if not all(k in row for k in BOUNDS_ROW):
+                continue
+            if row["objective"] not in OBJECTIVES:
+                errors.append(f"{where}: objective '{row['objective']}' "
+                              f"not in {OBJECTIVES}")
+            for metric, lb, gap in (("dilation", "dil_lb", "dil_gap"),
+                                    ("wirelength", "wl_lb", "wl_gap"),
+                                    ("congestion", "cong_lb", "cong_gap"),
+                                    ("load", "load_lb", None)):
+                if row[metric] < row[lb]:
+                    errors.append(f"{where}: {metric} {row[metric]} below "
+                                  f"its lower bound {row[lb]}")
+                if gap is None:
+                    continue
+                if row[gap] < 1.0:
+                    errors.append(f"{where}: {gap} {row[gap]} < 1.0")
+                expect = row[metric] / row[lb] if row[lb] else 1.0
+                if abs(row[gap] - expect) > 1e-3:
+                    errors.append(f"{where}: {gap} {row[gap]} != "
+                                  f"{metric}/{lb} = {expect:.4f}")
+        elif kind == "equivalence":
+            check_types(row, BOUNDS_EQUIVALENCE, errors, where)
+            if row.get("identical") is not True:
+                errors.append(f"{where}: lexicographic-default equivalence "
+                              f"broken for shape '{row.get('shape')}'")
+        elif kind == "wins":
+            check_types(row, BOUNDS_WINS, errors, where)
+            if not all(k in row for k in BOUNDS_WINS):
+                continue
+            if not (row["wins_dil2"] <= row["wins"] <= row["planned"]):
+                errors.append(f"{where}: wins accounting broken: "
+                              f"{row['wins_dil2']} <= {row['wins']} <= "
+                              f"{row['planned']} fails")
+            if row["objective"] == "wirelength":
+                wl_wins_dil2 = row["wins_dil2"]
+        else:
+            errors.append(f"{where}: unknown row type '{kind}'")
+    if wl_wins_dil2 is None:
+        errors.append("no wins row for the wirelength objective")
+    elif wl_wins_dil2 < 1:
+        errors.append("wirelength objective never beat the default at "
+                      "dilation <= 2 (wins_dil2 == 0)")
+
+
 def check_file(path, min_plan_speedup=None):
     errors = []
     rows = []
@@ -206,9 +279,11 @@ def check_file(path, min_plan_speedup=None):
         check_recovery(rows, errors)
     elif name.startswith("BENCH_storm"):
         check_storm(rows, errors)
+    elif name.startswith("BENCH_bounds"):
+        check_bounds(rows, errors)
     else:
         errors.append(f"no schema for '{name}' (expected BENCH_parallel*, "
-                      "BENCH_recovery* or BENCH_storm*)")
+                      "BENCH_recovery*, BENCH_storm* or BENCH_bounds*)")
     return errors
 
 
