@@ -1,0 +1,212 @@
+// E22 — plan serving at production scale: store-hit latency, overload
+// shedding, and corruption survival.
+//
+// Builds a plan store with the checkpointed precompute pass, then
+// measures the three serve-path claims:
+//
+//   * "latency" rows — exact p50/p99/mean request latency for cold
+//     serving (live planner, no store) vs warm serving (store hit +
+//     mandatory re-verify), memoization off so every request pays the
+//     full path it is labelled with.
+//   * "split" rows — a request flood through the bounded admission
+//     queue: the warm/cold/degraded/shed verdict split must account for
+//     every request (shed is load shedding, not loss).
+//   * "corruption" rows — seeded byte flips confined to the store's
+//     data region (superblock/index flips fail open(), the louder
+//     failure mode), then every canonical shape queried: all requests
+//     answered, all answers verified, the split shows how many fell
+//     back to the live planner.
+//
+// Rows go to stdout AND BENCH_serve.json; schema enforced by
+// tools/check_bench.py. `exp_serve --quick` shrinks the store budget
+// for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "search/provider.hpp"
+#include "store/precompute.hpp"
+#include "store/serve.hpp"
+#include "store/store.hpp"
+#include "store/writer.hpp"
+
+using namespace hj;
+
+namespace {
+
+FILE* g_json = nullptr;
+
+void emit(const std::string& line) {
+  std::fputs(line.c_str(), stdout);
+  if (g_json) std::fputs(line.c_str(), g_json);
+}
+
+u64 percentile(std::vector<u64> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::string latency_row(const char* mode, const std::vector<u64>& lat) {
+  u64 sum = 0;
+  for (u64 v : lat) sum += v;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"row\":\"latency\",\"mode\":\"%s\",\"requests\":%zu,"
+                "\"p50_us\":%llu,\"p99_us\":%llu,\"mean_us\":%.1f}\n",
+                mode, lat.size(),
+                static_cast<unsigned long long>(percentile(lat, 0.5)),
+                static_cast<unsigned long long>(percentile(lat, 0.99)),
+                lat.empty() ? 0.0
+                            : static_cast<double>(sum) /
+                                  static_cast<double>(lat.size()));
+  return buf;
+}
+
+/// Latency distribution over every canonical shape. `store` == nullptr
+/// measures the cold path (live planner per request); with a store every
+/// request is a hit plus the mandatory re-verify. Memoization off so
+/// requests stay independent.
+void run_latency(const char* mode, const store::PlanStore* st,
+                 const std::vector<Shape>& shapes) {
+  store::ServeOptions opts;
+  opts.memoize = false;
+  store::Server server(st, opts, [] { return search::make_search_provider(); });
+  std::vector<u64> lat;
+  lat.reserve(shapes.size());
+  for (const Shape& s : shapes) {
+    const store::Reply rep = server.handle(s);
+    if (!rep.ok) {
+      std::fprintf(stderr, "latency run failed on %s: %s\n",
+                   s.to_string().c_str(), rep.error.c_str());
+      continue;
+    }
+    lat.push_back(rep.latency_us);
+  }
+  emit(latency_row(mode, lat));
+}
+
+/// Flood the bounded queue through the line protocol: every request must
+/// be accounted for by exactly one verdict.
+void run_split(const store::PlanStore& st, const std::vector<Shape>& shapes,
+               u32 rounds) {
+  store::ServeOptions opts;
+  opts.queue_cap = 8;
+  opts.deadline_us = 0;  // isolate queue-full shedding
+  store::Server server(&st, opts,
+                       [] { return search::make_search_provider(); });
+  std::ostringstream reqs;
+  for (u32 r = 0; r < rounds; ++r)
+    for (const Shape& s : shapes) reqs << s.to_string() << "\n";
+  reqs << "quit\n";
+  std::istringstream in(reqs.str());
+  std::ostringstream out;
+  (void)store::run_serve(in, out, server);
+  const store::ServeStats s = server.stats();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"row\":\"split\",\"requests\":%llu,\"warm\":%llu,"
+                "\"cold\":%llu,\"degraded\":%llu,\"shed\":%llu}\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.warm),
+                static_cast<unsigned long long>(s.cold),
+                static_cast<unsigned long long>(s.degraded),
+                static_cast<unsigned long long>(s.shed));
+  emit(buf);
+}
+
+/// Flip `flips` seeded bytes inside the data region of a copy of the
+/// store, then query every canonical shape: the daemon must answer and
+/// verify 100% of them, degrading (live fallback) where records died.
+void run_corruption(const std::string& store_path,
+                    const std::vector<Shape>& shapes, u32 flips, u64 seed) {
+  std::string bytes;
+  {
+    std::ifstream is(store_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string mut_path = store_path + ".corrupt";
+  {
+    const store::PlanStore pristine = store::PlanStore::open(store_path);
+    const auto [first, last] = pristine.data_region();
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<u64> off(first, last - 1);
+    std::uniform_int_distribution<u32> bit(0, 7);
+    for (u32 i = 0; i < flips; ++i)
+      bytes[off(rng)] ^= static_cast<char>(1u << bit(rng));
+    std::ofstream os(mut_path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const store::PlanStore mut = store::PlanStore::open(mut_path);
+  store::Server server(&mut, {}, [] { return search::make_search_provider(); });
+  u64 answered = 0, verified = 0, warm = 0, degraded = 0, cold = 0;
+  for (const Shape& s : shapes) {
+    const store::Reply rep = server.handle(s);
+    ++answered;
+    if (rep.ok) ++verified;
+    switch (rep.verdict) {
+      case store::Verdict::ServedWarm: ++warm; break;
+      case store::Verdict::Degraded: ++degraded; break;
+      case store::Verdict::ServedCold: ++cold; break;
+      case store::Verdict::Shed: break;
+    }
+  }
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"row\":\"corruption\",\"flips\":%u,\"requests\":%zu,"
+      "\"answered\":%llu,\"verified\":%llu,\"warm\":%llu,"
+      "\"degraded\":%llu,\"cold\":%llu,\"quarantined\":%llu}\n",
+      flips, shapes.size(), static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(warm),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(cold),
+      static_cast<unsigned long long>(mut.quarantined_count()));
+  emit(buf);
+  std::remove(mut_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  g_json = std::fopen("BENCH_serve.json", "w");
+  if (!g_json)
+    std::fprintf(stderr, "warning: cannot open BENCH_serve.json\n");
+
+  const u64 budget = quick ? 64 : 512;
+  const std::string store_path = "exp_serve_store.hjs";
+  std::remove(store_path.c_str());
+  std::remove(store::journal_path(store_path).c_str());
+  store::PrecomputeOptions popts;
+  popts.max_nodes = budget;
+  const store::PrecomputeResult pre = store::precompute(
+      store_path, popts, [] { return search::make_search_provider(); });
+  if (!pre.complete) {
+    std::fprintf(stderr, "precompute did not complete\n");
+    return 1;
+  }
+  const std::vector<Shape> shapes =
+      store::enumerate_canonical_shapes(budget, 3);
+  const store::PlanStore st = store::PlanStore::open(store_path);
+
+  run_latency("cold", nullptr, shapes);
+  run_latency("warm", &st, shapes);
+  run_split(st, shapes, quick ? 2 : 4);
+  for (const u32 flips : {1u, 8u, quick ? 32u : 256u})
+    run_corruption(store_path, shapes, flips, /*seed=*/0x522EULL + flips);
+
+  std::remove(store_path.c_str());
+  if (g_json) std::fclose(g_json);
+  return 0;
+}

@@ -6,6 +6,10 @@
 //   hj_embed contract 5 19 19          many-to-one into Q5
 //   hj_embed save out.hje 7 9          plan and serialize
 //   hj_embed verify a.hje [b.hje ...]  reload and re-verify saved files
+//   hj_embed precompute plans.hjs 512  build the crash-safe plan store
+//                                      (checkpointed; rerun to resume)
+//   hj_embed serve plans.hjs           answer stdin requests from the
+//                                      store, never uncertified
 //   hj_embed sweep 9                   Figure 2 coverage sweep for 2^n
 //   hj_embed sim 9 13                  stencil-exchange simulation
 //   hj_embed recover 3 3 7             live run with mid-run fault arrivals
@@ -45,6 +49,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -59,6 +65,9 @@
 #include "manytoone/manytoone.hpp"
 #include "obs/obs.hpp"
 #include "search/provider.hpp"
+#include "store/precompute.hpp"
+#include "store/serve.hpp"
+#include "store/store.hpp"
 #include "torus/torus.hpp"
 
 using namespace hj;
@@ -73,6 +82,9 @@ bool g_have_schedule = false;
 std::string g_storm_spec;
 std::string g_metrics_out;
 std::string g_trace_out;
+u64 g_serve_queue = 64;
+u64 g_serve_deadline_us = 100000;
+u32 g_precompute_batch = 32;
 
 void print_usage(const char* argv0) {
   std::fprintf(
@@ -85,6 +97,13 @@ void print_usage(const char* argv0) {
       "  contract <n> l1 [l2 ...]   many-to-one contraction into Q_n\n"
       "  save <file> l1 [l2 ...]    plan and serialize\n"
       "  verify <file> [file ...]   reload and re-verify saved embeddings\n"
+      "  precompute <store> [max_nodes] [max_rank]\n"
+      "                             build the crash-safe plan store for\n"
+      "                             every canonical shape below the budget\n"
+      "                             (checkpointed; rerun to resume)\n"
+      "  serve <store|->            answer embedding requests line by line\n"
+      "                             on stdin from the store, falling back\n"
+      "                             to the live planner ('-' = no store)\n"
       "  sweep <n>                  Figure 2 coverage sweep for 2^n\n"
       "  sim l1 [l2 ...]            stencil-exchange simulation\n"
       "  recover l1 [l2 ...]        live run with mid-run fault arrivals\n"
@@ -102,8 +121,21 @@ void print_usage(const char* argv0) {
       "  --storm=<spec>             storm shape for the storm command\n"
       "                             (kind=regional,events=200,seed=7,...)\n"
       "  --metrics-out=<file>       write the metrics registry as JSON\n"
-      "  --trace-out=<file>         write spans as Chrome trace JSON\n",
+      "  --trace-out=<file>         write spans as Chrome trace JSON\n"
+      "  --batch=N                  precompute checkpoint batch size (32)\n"
+      "  --queue=N                  serve admission queue capacity (64)\n"
+      "  --deadline-us=N            serve per-request deadline in\n"
+      "                             microseconds (100000; 0 disables)\n",
       argv0);
+}
+
+/// The file-operation error path of PR 6's exit-code contract: a missing
+/// input file or unwritable output path is a *usage* error — one line on
+/// stderr, the usage text, exit 2 — not a crash.
+int usage_error(const char* argv0, const std::string& what) {
+  std::fprintf(stderr, "error: %s\n\n", what.c_str());
+  print_usage(argv0);
+  return 2;
 }
 
 /// Write the post-command observability exports requested by
@@ -182,7 +214,11 @@ int cmd_save(int argc, char** argv) {
   Planner planner(planner_options());
   planner.set_direct_provider(search::make_search_provider());
   PlanResult r = planner.plan(parse_shape(argc, argv, 3));
-  io::save(*r.embedding, argv[2]);
+  try {
+    io::save(*r.embedding, argv[2]);
+  } catch (const std::exception& e) {
+    return usage_error(argv[0], e.what());
+  }
   std::printf("saved %s -> %s (%s)\n",
               r.embedding->guest().shape().to_string().c_str(), argv[2],
               r.plan.c_str());
@@ -192,7 +228,13 @@ int cmd_save(int argc, char** argv) {
 int cmd_verify(int argc, char** argv) {
   require(argc >= 3, "usage: verify <file> [file ...]");
   std::vector<EmbeddingPtr> embs;
-  for (int i = 2; i < argc; ++i) embs.push_back(io::load(argv[i]));
+  for (int i = 2; i < argc; ++i) {
+    try {
+      embs.push_back(io::load(argv[i]));
+    } catch (const std::exception& e) {
+      return usage_error(argv[0], e.what());
+    }
+  }
   const std::vector<VerifyReport> reports = verify_batch(embs);
   bool all_valid = true;
   for (std::size_t i = 0; i < embs.size(); ++i) {
@@ -206,6 +248,65 @@ int cmd_verify(int argc, char** argv) {
     }
   }
   return all_valid ? 0 : 1;
+}
+
+int cmd_precompute(int argc, char** argv) {
+  require(argc >= 3, "usage: precompute <store> [max_nodes] [max_rank]");
+  store::PrecomputeOptions opts;
+  opts.planner = planner_options();
+  opts.batch_size = g_precompute_batch;
+  if (argc >= 4) opts.max_nodes = std::strtoull(argv[3], nullptr, 10);
+  if (argc >= 5) opts.max_rank = static_cast<u32>(std::atoi(argv[4]));
+  store::PrecomputeResult r;
+  try {
+    r = store::precompute(argv[2], opts,
+                          [] { return search::make_search_provider(); });
+  } catch (const std::runtime_error& e) {
+    return usage_error(argv[0], e.what());
+  }
+  std::printf("precompute %s: %llu shapes in %llu batches "
+              "(%llu resumed from the journal, %llu planned",
+              argv[2], static_cast<unsigned long long>(r.shapes_total),
+              static_cast<unsigned long long>(r.batches_total),
+              static_cast<unsigned long long>(r.batches_resumed),
+              static_cast<unsigned long long>(r.batches_planned));
+  if (r.journal_dropped_bytes)
+    std::printf(", torn tail of %llu bytes dropped",
+                static_cast<unsigned long long>(r.journal_dropped_bytes));
+  std::printf(")\n%s\n", r.complete ? "store finalized"
+                                    : "store NOT finalized (partial run)");
+  return r.complete ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  require(argc >= 3, "usage: serve <store|->");
+  store::ServeOptions opts;
+  opts.planner = planner_options();
+  opts.queue_cap = g_serve_queue;
+  opts.deadline_us = g_serve_deadline_us;
+  std::optional<store::PlanStore> ps;
+  const std::string path = argv[2];
+  if (path != "-") {
+    try {
+      ps.emplace(store::PlanStore::open(path));
+    } catch (const std::runtime_error& e) {
+      return usage_error(argv[0], e.what());
+    }
+  }
+  store::Server server(ps ? &*ps : nullptr, opts,
+                       [] { return search::make_search_provider(); });
+  const int rc = store::run_serve(std::cin, std::cout, server);
+  const store::ServeStats st = server.stats();
+  std::fprintf(stderr,
+               "serve: %llu requests (%llu warm, %llu cold, %llu degraded, "
+               "%llu shed, %llu errors)\n",
+               static_cast<unsigned long long>(st.requests),
+               static_cast<unsigned long long>(st.warm),
+               static_cast<unsigned long long>(st.cold),
+               static_cast<unsigned long long>(st.degraded),
+               static_cast<unsigned long long>(st.shed),
+               static_cast<unsigned long long>(st.errors));
+  return rc;
 }
 
 int cmd_sweep(int argc, char** argv) {
@@ -449,6 +550,12 @@ int main(int argc, char** argv) {
           return 2;
         }
         g_objective = *obj;
+      } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+        g_precompute_batch = static_cast<u32>(std::atoi(argv[i] + 8));
+      } else if (std::strncmp(argv[i], "--queue=", 8) == 0) {
+        g_serve_queue = std::strtoull(argv[i] + 8, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--deadline-us=", 14) == 0) {
+        g_serve_deadline_us = std::strtoull(argv[i] + 14, nullptr, 10);
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -470,6 +577,8 @@ int main(int argc, char** argv) {
     else if (cmd == "contract") rc = cmd_contract(argc, argv);
     else if (cmd == "save") rc = cmd_save(argc, argv);
     else if (cmd == "verify") rc = cmd_verify(argc, argv);
+    else if (cmd == "precompute") rc = cmd_precompute(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "sim") rc = cmd_sim(argc, argv);
     else if (cmd == "recover") rc = cmd_recover(argc, argv);

@@ -42,24 +42,50 @@ std::string to_text(const Embedding& emb) {
   return os.str();
 }
 
+// The parser is line-oriented and tracks line numbers, so a truncated or
+// torn document (a common torn-write artifact the plan store must survive)
+// is rejected with the exact position: input ending mid-`path` line or
+// missing the `end` sentinel throws std::invalid_argument naming the line,
+// never silently succeeds with a partial embedding.
 std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
-  auto fail = [](const std::string& what) -> std::shared_ptr<ExplicitEmbedding> {
-    throw std::invalid_argument("hjembed io: " + what);
+  u32 lineno = 0;
+  std::string line;
+
+  auto fail = [&](const std::string& what) -> std::shared_ptr<ExplicitEmbedding> {
+    throw std::invalid_argument("hjembed io: line " + std::to_string(lineno) +
+                                ": " + what);
   };
 
-  std::string word;
-  u32 version = 0;
-  if (!(is >> word >> version) || word != "hjembed" || version != 1)
-    return fail("bad header");
+  // Advance to the next line with content (blank lines are tolerated).
+  // Returns false on end of input, leaving `lineno` just past the last
+  // line so truncation errors point at the torn position.
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    ++lineno;
+    return false;
+  };
 
-  if (!(is >> word) || word != "shape") return fail("expected shape");
-  std::string line;
-  std::getline(is, line);
+  if (!next_line()) return fail("empty input (expected 'hjembed 1' header)");
+  {
+    std::istringstream ls(line);
+    std::string word;
+    u32 version = 0;
+    if (!(ls >> word >> version) || word != "hjembed" || version != 1)
+      return fail("bad header");
+  }
+
+  if (!next_line()) return fail("truncated input: expected shape");
   SmallVec<u64, 4> extents;
   {
     std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word != "shape") return fail("expected shape");
     u64 v;
     while (ls >> v) extents.push_back(v);
+    if (!ls.eof()) return fail("bad shape extent");
   }
   if (extents.empty()) return fail("empty shape");
   // Overflow / resource guard: reject meshes no sane file would hold
@@ -72,43 +98,67 @@ std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
   }
   const Shape shape{extents};
 
-  if (!(is >> word) || word != "wrap") return fail("expected wrap");
+  if (!next_line()) return fail("truncated input: expected wrap");
   SmallVec<u8, 4> wrap;
-  for (u32 i = 0; i < shape.dims(); ++i) {
-    u32 w;
-    if (!(is >> w)) return fail("short wrap line");
-    wrap.push_back(static_cast<u8>(w != 0));
+  {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word != "wrap") return fail("expected wrap");
+    for (u32 i = 0; i < shape.dims(); ++i) {
+      u32 w;
+      if (!(ls >> w)) return fail("short wrap line");
+      wrap.push_back(static_cast<u8>(w != 0));
+    }
   }
   const Mesh guest(shape, wrap);
 
+  if (!next_line()) return fail("truncated input: expected cube");
   u32 cube = 0;
-  if (!(is >> word >> cube) || word != "cube") return fail("expected cube");
+  {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word >> cube) || word != "cube") return fail("expected cube");
+  }
 
-  if (!(is >> word) || word != "map") return fail("expected map");
+  if (!next_line()) return fail("truncated input: expected map");
   std::vector<CubeNode> map(guest.num_nodes());
-  for (CubeNode& v : map)
-    if (!(is >> v)) return fail("short node map");
+  {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word != "map") return fail("expected map");
+    for (CubeNode& v : map)
+      if (!(ls >> v)) return fail("short node map");
+  }
 
-  auto emb = std::make_shared<ExplicitEmbedding>(guest, cube, std::move(map));
+  std::shared_ptr<ExplicitEmbedding> emb;
+  try {
+    emb = std::make_shared<ExplicitEmbedding>(guest, cube, std::move(map));
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
 
   std::unordered_set<u64> seen_paths;
-  while (is >> word) {
+  while (true) {
+    if (!next_line()) return fail("missing end marker");
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
     if (word == "end") return emb;
     if (word != "path") return fail("unexpected token '" + word + "'");
     MeshIndex a;
     u32 axis, wrapped;
-    if (!(is >> a >> axis >> wrapped)) return fail("short path header");
+    if (!(ls >> a >> axis >> wrapped))
+      return fail("short path header (input truncated mid-path?)");
     if (a >= guest.num_nodes() || axis >= shape.dims())
       return fail("path header out of range");
     if (!seen_paths.insert(a * shape.dims() + axis).second)
       return fail("duplicate path for node " + std::to_string(a) +
                   " axis " + std::to_string(axis));
-    std::getline(is, line);
     CubePath p;
     {
-      std::istringstream ls(line);
       CubeNode v;
       while (ls >> v) p.push_back(v);
+      if (!ls.eof()) return fail("bad path node");
     }
     // Reconstruct the edge this path belongs to.
     const u64 stride = shape.stride(axis);
@@ -121,9 +171,12 @@ std::shared_ptr<ExplicitEmbedding> read_text(std::istream& is) {
       if (c + 1 >= shape[axis]) return fail("path runs off the mesh");
       b = a + stride;
     }
-    emb->set_edge_path(MeshEdge{a, b, axis, wrapped != 0}, std::move(p));
+    try {
+      emb->set_edge_path(MeshEdge{a, b, axis, wrapped != 0}, std::move(p));
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
   }
-  return fail("missing end marker");
 }
 
 std::shared_ptr<ExplicitEmbedding> from_text(const std::string& text) {
@@ -133,14 +186,14 @@ std::shared_ptr<ExplicitEmbedding> from_text(const std::string& text) {
 
 void save(const Embedding& emb, const std::string& file) {
   std::ofstream os(file);
-  require(os.good(), "io::save: cannot open file");
+  require(os.good(), "io::save: cannot open '%s' for writing", file.c_str());
   write_text(os, emb);
-  require(os.good(), "io::save: write failed");
+  require(os.good(), "io::save: write to '%s' failed", file.c_str());
 }
 
 std::shared_ptr<ExplicitEmbedding> load(const std::string& file) {
   std::ifstream is(file);
-  require(is.good(), "io::load: cannot open file");
+  require(is.good(), "io::load: cannot open '%s'", file.c_str());
   return read_text(is);
 }
 

@@ -525,6 +525,20 @@ SmallVec<u32, 4> permutation_to(const Shape& base, const Shape& target) {
 
 }  // namespace
 
+PlanResult relabel_plan(const PlanResult& canon, const Shape& target) {
+  const Shape& base_shape = canon.embedding->guest().shape();
+  if (target == base_shape) return canon;
+  require(target.sorted() == base_shape.sorted(),
+          "relabel_plan: target is not an axis permutation of the plan");
+  auto relabeled = std::make_shared<RelabelEmbedding>(
+      canon.embedding, target, permutation_to(base_shape, target));
+  PlanResult out;
+  out.report = verify(*relabeled);
+  out.embedding = std::move(relabeled);
+  out.plan = "perm<" + target.to_string() + ">(" + canon.plan + ")";
+  return out;
+}
+
 std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
                                    const PlannerOptions& opts,
                                    const DirectProviderFactory& provider_factory,
@@ -578,20 +592,8 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
   {
     HJ_SPAN("plan_batch.relabel");
     par::parallel_for(0, shapes.size(), /*grain=*/16, [&](u64 lo, u64 hi) {
-      for (u64 i = lo; i < hi; ++i) {
-        const PlanResult& canon = canon_plans[canon_of[i]];
-        if (shapes[i] == canon.embedding->guest().shape()) {
-          out[i] = canon;
-          continue;
-        }
-        const Shape& base_shape = canon.embedding->guest().shape();
-        auto relabeled = std::make_shared<RelabelEmbedding>(
-            canon.embedding, shapes[i], permutation_to(base_shape, shapes[i]));
-        out[i].report = verify(*relabeled);
-        out[i].embedding = std::move(relabeled);
-        out[i].plan =
-            "perm<" + shapes[i].to_string() + ">(" + canon.plan + ")";
-      }
+      for (u64 i = lo; i < hi; ++i)
+        out[i] = relabel_plan(canon_plans[canon_of[i]], shapes[i]);
     });
   }
   // Result-quality distributions are functions of the (deterministic)

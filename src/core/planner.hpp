@@ -247,6 +247,15 @@ using DirectProviderFactory = std::function<DirectProvider()>;
     const DirectProviderFactory& provider_factory = nullptr,
     ShardedPlanCache* cache = nullptr);
 
+/// Relabel a finished plan to `target`, which must be an axis permutation
+/// of the plan's guest shape. Rebuilds the embedding via RelabelEmbedding,
+/// re-verifies it (the relabelled guest has its own edge set, so the
+/// certificate is re-derived, never copied) and tags the plan string with
+/// "perm<target>(...)". `target` equal to the plan's shape returns the
+/// input unchanged. Shared by plan_batch and the plan store's serve path.
+[[nodiscard]] PlanResult relabel_plan(const PlanResult& canon,
+                                      const Shape& target);
+
 /// Fault-aware batch: `faults[i]` constrains shapes[i] (nullptr or an
 /// empty set means unconstrained). Fault-free entries go through the
 /// canonical-dedup path above and may be served from / inserted into the

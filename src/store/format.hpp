@@ -1,0 +1,214 @@
+// hjembed plan store: the on-disk binary format.
+//
+// A store file holds every precomputed canonical-shape plan below a node
+// budget, in a layout built to be mmap'ed and to make corruption — torn
+// writes, truncation, bit flips — *detectable*, never undefined behaviour:
+//
+//   [superblock 72 B][data region: records][index: sorted fixed entries]
+//
+//   superblock   magic, version, record count, region offsets/sizes, an
+//                FNV-1a checksum of the index region and one of the
+//                superblock itself. Any flip here fails open().
+//   record       64 B header (magic, key, certified cube/dilation, payload
+//                sizes, FNV-1a over header+payload) followed by the plan
+//                string and the io::to_text embedding document. Any flip
+//                is caught at lookup() and quarantines the record.
+//   index        one 48 B entry per record — the canonical (sorted) shape
+//                key plus the record's offset/size — sorted by key, so a
+//                lookup is one binary search over the mapped file. Any
+//                flip fails open() via the index checksum.
+//
+// All integers are little-endian fixed-width, written byte by byte (no
+// struct aliasing, so reading an arbitrary corrupted file is always
+// defined behaviour). The file contains no timestamps or other
+// run-dependent bytes: a store is a pure function of its records, which
+// is what makes "resume after kill -9 converges to a bit-identical store"
+// checkable with cmp(1).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/common.hpp"
+#include "core/shape.hpp"
+
+namespace hj::store {
+
+/// "HJPSTOR1" read as a little-endian u64.
+inline constexpr u64 kSuperMagic = 0x31524F5453504A48ull;
+/// "HJPR" — record header magic.
+inline constexpr u32 kRecordMagic = 0x52504A48u;
+/// "HJCK" — checkpoint-journal batch frame magic.
+inline constexpr u32 kJournalMagic = 0x4B434A48u;
+
+inline constexpr u32 kFormatVersion = 1;
+inline constexpr u64 kSuperBytes = 72;
+inline constexpr u64 kRecordHeaderBytes = 64;
+inline constexpr u64 kIndexEntryBytes = 48;
+inline constexpr u64 kJournalHeaderBytes = 24;
+/// Keys cover shapes of rank 1..4 (the planner's inline rank).
+inline constexpr u32 kMaxRank = 4;
+
+/// FNV-1a over a byte range (the checksum used everywhere in the format).
+[[nodiscard]] inline u64 fnv1a(const unsigned char* p, u64 n,
+                               u64 h = 14695981039346656037ull) noexcept {
+  for (u64 i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[nodiscard]] inline u64 fnv1a(const std::string& s,
+                               u64 h = 14695981039346656037ull) noexcept {
+  return fnv1a(reinterpret_cast<const unsigned char*>(s.data()), s.size(), h);
+}
+
+// --- little-endian byte packing (append to a std::string buffer) ---
+
+inline void put_u32(std::string& out, u32 v) {
+  for (u32 i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, u64 v) {
+  for (u32 i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+[[nodiscard]] inline u32 get_u32(const unsigned char* p) noexcept {
+  u32 v = 0;
+  for (u32 i = 0; i < 4; ++i) v |= static_cast<u32>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline u64 get_u64(const unsigned char* p) noexcept {
+  u64 v = 0;
+  for (u32 i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Store key: the canonical (ascending-sorted) shape extents, zero-padded
+/// to kMaxRank. Extents are >= 1, so the zero padding encodes the rank
+/// unambiguously and plain lexicographic comparison of the array orders
+/// keys of every rank consistently.
+struct Key {
+  std::array<u64, kMaxRank> ext{};
+
+  /// Key of a shape (any axis order; the key is the sorted form).
+  /// Throws std::invalid_argument for rank > kMaxRank.
+  [[nodiscard]] static Key of(const Shape& s) {
+    require(s.dims() <= kMaxRank,
+            "plan store: shape rank %u exceeds the store's max rank %u",
+            s.dims(), kMaxRank);
+    const Shape sorted = s.sorted();
+    Key k;
+    for (u32 i = 0; i < sorted.dims(); ++i) k.ext[i] = sorted[i];
+    return k;
+  }
+
+  [[nodiscard]] u32 rank() const noexcept {
+    u32 r = 0;
+    while (r < kMaxRank && ext[r] != 0) ++r;
+    return r;
+  }
+
+  [[nodiscard]] Shape shape() const {
+    SmallVec<u64, 4> e;
+    for (u32 i = 0; i < rank(); ++i) e.push_back(ext[i]);
+    return Shape{e};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    for (u32 i = 0; i < rank(); ++i) {
+      if (i) s += 'x';
+      s += std::to_string(ext[i]);
+    }
+    return s;
+  }
+
+  friend bool operator==(const Key&, const Key&) = default;
+  friend auto operator<=>(const Key&, const Key&) = default;
+};
+
+/// One store record: a canonical shape's certified plan. `emb_text` is the
+/// io::to_text document of the planned embedding; `cube`/`dil` are the
+/// certified metrics recorded at precompute time (advisory — the serve
+/// path re-verifies before first use and never trusts them).
+struct Record {
+  Key key;
+  u32 cube = 0;
+  u32 dil = 0;
+  std::string plan;
+  std::string emb_text;
+};
+
+/// Append the record's on-disk encoding (header + payload) to `out`.
+inline void encode_record(std::string& out, const Record& r) {
+  std::string h;
+  h.reserve(kRecordHeaderBytes);
+  put_u32(h, kRecordMagic);
+  put_u32(h, r.key.rank());
+  for (u64 e : r.key.ext) put_u64(h, e);
+  put_u32(h, r.cube);
+  put_u32(h, r.dil);
+  put_u32(h, static_cast<u32>(r.plan.size()));
+  put_u32(h, static_cast<u32>(r.emb_text.size()));
+  // Checksum covers the header-so-far plus the whole payload, so a flip
+  // anywhere in the record (sizes and key included) is detected.
+  u64 sum = fnv1a(h);
+  sum = fnv1a(r.plan, sum);
+  sum = fnv1a(r.emb_text, sum);
+  put_u64(h, sum);
+  out += h;
+  out += r.plan;
+  out += r.emb_text;
+}
+
+/// Decode (and checksum-verify) one record at `p` with `avail` readable
+/// bytes. On success fills `out` and `total_bytes` and returns true; on
+/// any inconsistency returns false with a reason in `err`. Never reads
+/// past `p + avail` — safe on arbitrary corrupted bytes.
+inline bool decode_record(const unsigned char* p, u64 avail, Record* out,
+                          u64* total_bytes, std::string* err) {
+  auto bad = [&](const char* what) {
+    if (err) *err = what;
+    return false;
+  };
+  if (avail < kRecordHeaderBytes) return bad("record header truncated");
+  if (get_u32(p) != kRecordMagic) return bad("bad record magic");
+  const u32 rank = get_u32(p + 4);
+  if (rank == 0 || rank > kMaxRank) return bad("bad record key rank");
+  Key key;
+  for (u32 i = 0; i < kMaxRank; ++i) key.ext[i] = get_u64(p + 8 + 8 * i);
+  for (u32 i = 0; i < kMaxRank; ++i) {
+    const bool used = i < rank;
+    if (used != (key.ext[i] != 0)) return bad("record key/rank mismatch");
+    if (used && i > 0 && key.ext[i] < key.ext[i - 1])
+      return bad("record key not canonical");
+  }
+  const u32 cube = get_u32(p + 40);
+  const u32 dil = get_u32(p + 44);
+  const u64 plan_bytes = get_u32(p + 48);
+  const u64 emb_bytes = get_u32(p + 52);
+  const u64 total = kRecordHeaderBytes + plan_bytes + emb_bytes;
+  if (total > avail) return bad("record payload truncated");
+  u64 sum = fnv1a(p, 56);
+  sum = fnv1a(p + kRecordHeaderBytes, plan_bytes + emb_bytes, sum);
+  if (sum != get_u64(p + 56)) return bad("record checksum mismatch");
+  if (out) {
+    out->key = key;
+    out->cube = cube;
+    out->dil = dil;
+    out->plan.assign(reinterpret_cast<const char*>(p + kRecordHeaderBytes),
+                     plan_bytes);
+    out->emb_text.assign(
+        reinterpret_cast<const char*>(p + kRecordHeaderBytes + plan_bytes),
+        emb_bytes);
+  }
+  if (total_bytes) *total_bytes = total;
+  return true;
+}
+
+}  // namespace hj::store

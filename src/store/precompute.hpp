@@ -1,0 +1,80 @@
+// hjembed plan store: the offline precompute pass.
+//
+// Enumerates every canonical shape (sorted extents, rank 1..max_rank) with
+// at most `max_nodes` guest nodes, plans each through the deterministic
+// batch engine, and writes the finished plan store. The pass is
+// checkpointed and resumable: shapes are planned in fixed-size batches in
+// a fixed enumeration order, and each finished batch is appended to a
+// checksummed journal (`<store>.ckpt`) with an fsync before the next batch
+// starts. A `kill -9` at any instant therefore loses at most the
+// in-flight batch:
+//
+//   * a torn final frame (short write, bad checksum, wrong sequence
+//     number) is detected on resume, truncated away, and re-planned;
+//   * completed frames are trusted byte-for-byte (each is checksummed and
+//     its record keys are checked against the enumeration slice it claims
+//     to cover, so a stale journal from a different budget is rebuilt, not
+//     merged);
+//   * the final store is assembled only from journal frames and written
+//     with atomic_write_file, so a rerun after any interruption converges
+//     to a store bit-identical to an uninterrupted run (cmp-able in CI).
+//
+// Crash injection for tests/CI (real SIGKILL, not a simulated flag):
+//   HJ_STORE_KILL_AFTER_BATCHES=k  raise(SIGKILL) right after appending
+//                                  the k-th batch frame of this run;
+//   HJ_STORE_TORN_BYTES=n          with the above: append only the first
+//                                  n bytes of that frame first, leaving a
+//                                  torn record for resume to recover from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "store/format.hpp"
+
+namespace hj::store {
+
+struct PrecomputeOptions {
+  /// Plan every canonical shape with at most this many guest nodes.
+  u64 max_nodes = 512;
+  /// Enumerate ranks 1..max_rank (<= format kMaxRank).
+  u32 max_rank = 3;
+  /// Shapes per checkpointed batch (the most a crash can lose).
+  u32 batch_size = 32;
+  /// Stop after this many batches this run (0 = run to completion); the
+  /// in-process analogue of a crash, used by tests to exercise resume
+  /// without SIGKILLing the test binary.
+  u32 max_batches = 0;
+  PlannerOptions planner;
+};
+
+struct PrecomputeResult {
+  u64 shapes_total = 0;      ///< canonical shapes below the budget
+  u64 batches_total = 0;
+  u64 batches_resumed = 0;   ///< valid frames recovered from the journal
+  u64 batches_planned = 0;   ///< frames planned and appended this run
+  u64 journal_dropped_bytes = 0;  ///< torn tail truncated on resume
+  bool complete = false;     ///< store finalized (atomically renamed)
+};
+
+/// Canonical shapes (ascending extents) with <= max_nodes nodes, ranks
+/// 1..max_rank, in the fixed enumeration order the journal batches index
+/// into: rank-major, then lexicographic by extents.
+[[nodiscard]] std::vector<Shape> enumerate_canonical_shapes(u64 max_nodes,
+                                                            u32 max_rank);
+
+/// The journal path used for `store_path`.
+[[nodiscard]] std::string journal_path(const std::string& store_path);
+
+/// Build (or resume building) the store at `store_path`. Idempotent: a
+/// store that already holds exactly the budget's shapes is left untouched
+/// (complete = true, nothing planned). Throws std::runtime_error on I/O
+/// failure (unwritable directory, full disk) and std::invalid_argument on
+/// bad options.
+PrecomputeResult precompute(const std::string& store_path,
+                            const PrecomputeOptions& opts = {},
+                            const DirectProviderFactory& provider_factory =
+                                nullptr);
+
+}  // namespace hj::store

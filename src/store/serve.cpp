@@ -1,0 +1,313 @@
+#include "store/serve.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "core/io.hpp"
+#include "core/verify.hpp"
+#include "obs/obs.hpp"
+
+namespace hj::store {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] u64 elapsed_us(Clock::time_point since) noexcept {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+void count(const char* name, u64 n = 1) {
+  if (obs::enabled())
+    obs::Registry::global().counter(name, obs::Kind::Timing).add(n);
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::ServedWarm: return "served-warm";
+    case Verdict::ServedCold: return "served-cold";
+    case Verdict::Degraded: return "degraded";
+    case Verdict::Shed: return "shed";
+  }
+  return "unknown";
+}
+
+Server::Server(const PlanStore* store, ServeOptions opts,
+               const DirectProviderFactory& provider_factory)
+    : store_(store), opts_(opts), planner_(opts.planner) {
+  if (provider_factory) planner_.set_direct_provider(provider_factory());
+}
+
+PlanResult Server::canonical_plan(const Shape& canon, Verdict& verdict) {
+  const std::string memo_key = canon.to_string();
+  if (opts_.memoize) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      verdict = Verdict::ServedWarm;
+      return it->second;
+    }
+  }
+
+  verdict = Verdict::ServedCold;
+  if (store_ && canon.dims() <= kMaxRank) {
+    const Key key = Key::of(canon);
+    const PlanStore::Lookup hit = store_->lookup(key);
+    switch (hit.status) {
+      case PlanStore::Status::Hit: {
+        count("store.hits");
+        // Never serve an uncertified plan: the on-disk certificate is
+        // advisory only. Re-parse and re-verify before first use; a
+        // record that parses but does not verify is as bad as a flipped
+        // checksum and gets quarantined the same way.
+        try {
+          const std::shared_ptr<ExplicitEmbedding> emb =
+              io::from_text(hit.record.emb_text);
+          if (emb->guest().shape() == canon) {
+            VerifyReport report = verify(*emb);
+            if (report.valid) {
+              PlanResult res;
+              res.embedding = emb;
+              res.report = std::move(report);
+              res.plan = hit.record.plan;
+              verdict = Verdict::ServedWarm;
+              if (opts_.memoize) {
+                std::lock_guard<std::mutex> lk(mu_);
+                memo_.emplace(memo_key, res);
+              }
+              return res;
+            }
+          }
+        } catch (const std::exception&) {
+          // fall through to quarantine + live planner
+        }
+        store_->quarantine(key);
+        count("store.corrupt");
+        verdict = Verdict::Degraded;
+        break;
+      }
+      case PlanStore::Status::Corrupt:
+        count("store.corrupt");
+        verdict = Verdict::Degraded;
+        break;
+      case PlanStore::Status::Miss:
+        count("store.misses");
+        break;
+    }
+  }
+
+  // Live planner fallback (cold miss or degraded corruption path). The
+  // planner re-verifies its result by construction.
+  std::lock_guard<std::mutex> lk(mu_);
+  PlanResult res = planner_.plan(canon);
+  if (opts_.memoize) memo_.emplace(memo_key, res);
+  return res;
+}
+
+Reply Server::handle(const Shape& shape) {
+  const Clock::time_point t0 = Clock::now();
+  Reply rep;
+  try {
+    require(shape.num_nodes() >= 1 && shape.num_nodes() <= (u64{1} << 26),
+            "request too large: at most 2^26 mesh nodes");
+    const Shape canon = shape.sorted();
+    Verdict verdict = Verdict::ServedCold;
+    const PlanResult canon_plan = canonical_plan(canon, verdict);
+    // Relabel to the requested axis order; relabel_plan re-verifies, so
+    // the reply's certificate always covers the exact shape served.
+    const PlanResult final_plan = relabel_plan(canon_plan, shape);
+    rep.verdict = verdict;
+    rep.ok = final_plan.report.valid;
+    if (!rep.ok) rep.error = "plan failed verification";
+    rep.cube = final_plan.report.host_dim;
+    rep.dil = final_plan.report.dilation;
+    rep.cong = final_plan.report.congestion;
+    rep.wl = final_plan.report.wirelength;
+    rep.plan = final_plan.plan;
+  } catch (const std::exception& e) {
+    rep.ok = false;
+    rep.error = e.what();
+  }
+  rep.latency_us = elapsed_us(t0);
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.requests += 1;
+    if (!rep.ok) {
+      stats_.errors += 1;
+    } else {
+      switch (rep.verdict) {
+        case Verdict::ServedWarm: stats_.warm += 1; break;
+        case Verdict::ServedCold: stats_.cold += 1; break;
+        case Verdict::Degraded: stats_.degraded += 1; break;
+        case Verdict::Shed: stats_.shed += 1; break;
+      }
+    }
+    if (store_) {
+      stats_.store_corrupt = store_->quarantined_count();
+    }
+  }
+  if (obs::enabled()) {
+    static obs::Histogram& lat = obs::Registry::global().histogram(
+        "serve.latency_us", obs::Kind::Timing);
+    lat.observe(rep.latency_us);
+    if (rep.ok) count(rep.verdict == Verdict::ServedWarm   ? "serve.warm"
+                      : rep.verdict == Verdict::Degraded ? "serve.degraded"
+                                                         : "serve.cold");
+  }
+  return rep;
+}
+
+void Server::note_shed() {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.requests += 1;
+    stats_.shed += 1;
+  }
+  count("serve.shed");
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+namespace {
+
+struct Request {
+  u64 id = 0;
+  Shape shape;
+  Clock::time_point admitted;
+};
+
+/// Parse a request line ("3x5x7", "3 5 7", optional leading "plan").
+/// Returns the shape or an error message via `err`.
+std::optional<Shape> parse_shape_line(const std::string& line,
+                                      std::string& err) {
+  std::string s = line;
+  for (char& c : s)
+    if (c == 'x' || c == 'X' || c == ',') c = ' ';
+  std::istringstream ls(s);
+  std::string tok;
+  SmallVec<u64, 4> ext;
+  u64 prod = 1;
+  bool first = true;
+  while (ls >> tok) {
+    if (first && tok == "plan") {
+      first = false;
+      continue;
+    }
+    first = false;
+    u64 v = 0;
+    std::size_t pos = 0;
+    try {
+      v = std::stoull(tok, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != tok.size() || v == 0) {
+      err = "bad extent '" + tok + "'";
+      return std::nullopt;
+    }
+    if (v > (u64{1} << 26) || prod > (u64{1} << 26) / v) {
+      err = "shape too large (at most 2^26 nodes)";
+      return std::nullopt;
+    }
+    prod *= v;
+    ext.push_back(v);
+  }
+  if (ext.empty()) {
+    err = "empty request";
+    return std::nullopt;
+  }
+  return Shape{std::move(ext)};
+}
+
+std::string format_reply(u64 id, const Shape& shape, const Reply& rep) {
+  std::ostringstream os;
+  if (!rep.ok) {
+    os << "id=" << id << " error=" << rep.error;
+    return os.str();
+  }
+  os << "id=" << id << " verdict=" << verdict_name(rep.verdict)
+     << " shape=" << shape.to_string() << " cube=" << rep.cube
+     << " dil=" << rep.dil << " cong=" << rep.cong << " wl=" << rep.wl
+     << " us=" << rep.latency_us << " plan=" << rep.plan;
+  return os.str();
+}
+
+std::string format_stats(const Server& server) {
+  const ServeStats st = server.stats();
+  std::ostringstream os;
+  os << "stats requests=" << st.requests << " warm=" << st.warm
+     << " cold=" << st.cold << " degraded=" << st.degraded
+     << " shed=" << st.shed << " errors=" << st.errors;
+  if (const PlanStore* ps = server.plan_store())
+    os << " store_records=" << ps->record_count()
+       << " quarantined=" << ps->quarantined_count();
+  return os.str();
+}
+
+}  // namespace
+
+int run_serve(std::istream& in, std::ostream& out, Server& server) {
+  BoundedQueue<Request> queue(server.options().queue_cap);
+  std::mutex out_mu;
+  const auto emit = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lk(out_mu);
+    out << line << '\n';
+    out.flush();
+  };
+
+  std::thread worker([&] {
+    while (std::optional<Request> r = queue.pop()) {
+      const u64 deadline = server.options().deadline_us;
+      if (deadline && elapsed_us(r->admitted) > deadline) {
+        server.note_shed();
+        emit("id=" + std::to_string(r->id) + " verdict=shed reason=deadline");
+        continue;
+      }
+      const Reply rep = server.handle(r->shape);
+      emit(format_reply(r->id, r->shape, rep));
+    }
+  });
+
+  std::string line;
+  u64 next_id = 0;
+  while (std::getline(in, line)) {
+    // Strip a trailing CR and surrounding whitespace; skip blanks/comments.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.pop_back();
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    const std::string body = line.substr(start);
+    if (body[0] == '#') continue;
+    if (body == "quit") break;
+    if (body == "stats") {
+      emit(format_stats(server));
+      continue;
+    }
+    const u64 id = ++next_id;
+    std::string err;
+    const std::optional<Shape> shape = parse_shape_line(body, err);
+    if (!shape) {
+      emit("id=" + std::to_string(id) + " error=" + err);
+      continue;
+    }
+    if (!queue.try_push(Request{id, *shape, Clock::now()})) {
+      server.note_shed();
+      emit("id=" + std::to_string(id) + " verdict=shed reason=queue-full");
+    }
+  }
+  queue.close();
+  worker.join();
+  return 0;
+}
+
+}  // namespace hj::store

@@ -1,0 +1,177 @@
+// hjembed plan store: the hardened serve loop.
+//
+// Server answers "embed this mesh" requests from a precomputed PlanStore,
+// falling back to the live planner whenever the store cannot help, and
+// NEVER serves an uncertified plan: every embedding loaded from disk is
+// re-verified with verify() before its first use (then memoized), and a
+// record that fails parsing or verification is quarantined in the store —
+// one corrupt record degrades one shape, not the daemon. Every reply
+// carries an explicit verdict:
+//
+//   served-warm  store hit or memo hit; certificate from a verified
+//                store/memo plan (relabelled plans are re-verified too).
+//   served-cold  store miss (or no store attached); planned live.
+//   degraded     store record was corrupt or failed verification; the
+//                record was quarantined and the reply planned live.
+//   shed         the request was refused under overload: the bounded
+//                queue was full at admission, or its per-request deadline
+//                expired before a worker picked it up.
+//
+// run_serve() wires Server to a line-oriented stdin/stdout protocol
+// (`hj_embed serve`): one request per line ("3x5x7" or "3 5 7"), plus
+// "stats" and "quit"; replies are single `id=N ...` lines, so a client
+// can correlate out-of-order completions.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/planner.hpp"
+#include "store/store.hpp"
+
+namespace hj::store {
+
+enum class Verdict : u8 { ServedWarm, ServedCold, Degraded, Shed };
+
+/// Wire name of a verdict: "served-warm", "served-cold", "degraded",
+/// "shed".
+[[nodiscard]] const char* verdict_name(Verdict v) noexcept;
+
+struct ServeOptions {
+  /// Per-request deadline: a queued request older than this is shed
+  /// instead of processed. 0 disables the deadline.
+  u64 deadline_us = 100000;
+  /// Bounded admission queue capacity; a full queue sheds at admission.
+  u64 queue_cap = 64;
+  /// Memoize verified plans by canonical shape (first use verifies, later
+  /// hits reuse the certificate).
+  bool memoize = true;
+  PlannerOptions planner;
+};
+
+struct Reply {
+  Verdict verdict = Verdict::ServedCold;
+  bool ok = false;
+  std::string error;  ///< set when !ok (invalid request, planner failure)
+  u32 cube = 0;
+  u32 dil = 0;
+  u32 cong = 0;
+  u64 wl = 0;
+  std::string plan;
+  u64 latency_us = 0;
+};
+
+/// Point-in-time serve counters (monotone; snapshot via Server::stats()).
+struct ServeStats {
+  u64 requests = 0;
+  u64 warm = 0;
+  u64 cold = 0;
+  u64 degraded = 0;
+  u64 shed = 0;
+  u64 errors = 0;
+  u64 store_hits = 0;
+  u64 store_misses = 0;
+  u64 store_corrupt = 0;
+};
+
+/// The serve engine. Thread-safe: handle() may be called concurrently
+/// (the memo and the live planner are mutex-protected; store lookups are
+/// lock-free).
+class Server {
+ public:
+  /// `store` may be null (pure live-planner serving); when given it must
+  /// outlive the server.
+  explicit Server(const PlanStore* store, ServeOptions opts = {},
+                  const DirectProviderFactory& provider_factory = nullptr);
+
+  /// Answer one request. Never throws: failures come back as !ok replies.
+  [[nodiscard]] Reply handle(const Shape& shape);
+
+  /// Record an admission-time shed (run_serve calls this; handle() never
+  /// sheds on its own).
+  void note_shed();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] const PlanStore* plan_store() const noexcept { return store_; }
+
+ private:
+  /// Verified canonical plan via store -> memo -> live planner.
+  /// `verdict` is set to the rung that produced it.
+  [[nodiscard]] PlanResult canonical_plan(const Shape& canon,
+                                          Verdict& verdict);
+
+  const PlanStore* store_;
+  ServeOptions opts_;
+  mutable std::mutex mu_;  // guards planner_ and memo_
+  Planner planner_;
+  std::unordered_map<std::string, PlanResult> memo_;  // canonical -> plan
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+};
+
+/// Bounded MPMC admission queue: try_push() refuses (returns false) when
+/// full — load shedding is explicit, never blocking — and pop() blocks
+/// until an item or close(). Exposed so the shed paths are unit-testable
+/// deterministically.
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(u64 cap) : cap_(cap ? cap : 1) {}
+
+  [[nodiscard]] bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained (nullopt).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] u64 size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  u64 cap_;
+  bool closed_ = false;
+};
+
+/// Drive `server` from a line-oriented request stream until EOF or
+/// "quit". Requests are admitted through a BoundedQueue sized by
+/// server.options().queue_cap and processed by one worker thread;
+/// admission overflow and deadline expiry produce `verdict=shed` lines.
+/// Returns 0 (protocol-level problems are per-request `error=` replies,
+/// not process failures).
+int run_serve(std::istream& in, std::ostream& out, Server& server);
+
+}  // namespace hj::store

@@ -1,0 +1,48 @@
+// hjembed plan store: the write side.
+//
+// Writer collects records, then finish() produces the complete store image
+// (superblock + data + sorted index + checksums) as one byte string — a
+// pure function of the record set, so two precompute runs over the same
+// shapes yield bit-identical files regardless of batching or interruption.
+//
+// Nothing is ever written in place: atomic_write_file() writes to
+// `<path>.tmp`, fsyncs the file, renames it over the destination and
+// fsyncs the directory, so a crash at any instant leaves either the old
+// store or the new one — never a torn hybrid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace hj::store {
+
+class Writer {
+ public:
+  /// Queue a record. Keys must be unique (std::invalid_argument otherwise,
+  /// checked at finish()).
+  void add(Record r);
+
+  [[nodiscard]] u64 record_count() const noexcept { return recs_.size(); }
+
+  /// Serialize the finished store: superblock, records in insertion
+  /// order, index sorted by key. Deterministic for a given record set.
+  [[nodiscard]] std::string finish() const;
+
+ private:
+  std::vector<Record> recs_;
+};
+
+/// Durable atomic replace: write `bytes` to `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the parent directory. Throws
+/// std::runtime_error on any I/O failure (unwritable directory, full
+/// disk); on failure the destination is untouched.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+/// Append `bytes` to `path` (creating it if needed) and fsync — the
+/// checkpoint journal's append discipline. Throws std::runtime_error on
+/// failure.
+void append_file_sync(const std::string& path, const std::string& bytes);
+
+}  // namespace hj::store

@@ -2,6 +2,10 @@
 # assumed. Variables (passed with -D):
 #   BIN             path to the hj_embed binary (required)
 #   ARGS            semicolon-separated argument list
+#   PRE_ARGS        if set, run BIN with these arguments first and require
+#                   success (setup step, e.g. precompute before serve)
+#   STDIN           text fed to the command's stdin; "\n" escapes become
+#                   newlines (line-protocol commands like serve)
 #   EXPECT_NONZERO  if set, the command must FAIL (any nonzero exit)
 #   MATCH           substring that must appear in combined stdout+stderr
 #   FILE1 / FILE1_MATCH, FILE2 / FILE2_MATCH
@@ -11,13 +15,40 @@ if(NOT DEFINED BIN)
   message(FATAL_ERROR "run_case.cmake: BIN is required")
 endif()
 
+if(DEFINED PRE_ARGS)
+  separate_arguments(PRE_LIST UNIX_COMMAND "${PRE_ARGS}")
+  execute_process(
+    COMMAND "${BIN}" ${PRE_LIST}
+    OUTPUT_VARIABLE pre_out
+    ERROR_VARIABLE pre_err
+    RESULT_VARIABLE pre_rc
+  )
+  if(NOT pre_rc EQUAL 0)
+    message(FATAL_ERROR
+            "setup command failed (exit ${pre_rc})\n${pre_out}${pre_err}")
+  endif()
+endif()
+
+set(input_args)
+if(DEFINED STDIN)
+  string(REPLACE "\\n" "\n" stdin_body "${STDIN}")
+  string(RANDOM LENGTH 8 stdin_tag)
+  set(stdin_file "${CMAKE_CURRENT_BINARY_DIR}/cli_stdin_${stdin_tag}.txt")
+  file(WRITE "${stdin_file}" "${stdin_body}")
+  set(input_args INPUT_FILE "${stdin_file}")
+endif()
+
 separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
 execute_process(
   COMMAND "${BIN}" ${ARG_LIST}
+  ${input_args}
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE rc
 )
+if(DEFINED STDIN)
+  file(REMOVE "${stdin_file}")
+endif()
 set(combined "${out}${err}")
 
 if(EXPECT_NONZERO)

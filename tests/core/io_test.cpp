@@ -88,6 +88,74 @@ TEST(Io, RejectsOutOfCubeMap) {
                std::invalid_argument);
 }
 
+TEST(Io, TruncatedMidPathNamesTheLine) {
+  // The document ends mid-way through a path header — the torn-write
+  // artifact the plan store's serve path must reject loudly.
+  const std::string text =
+      "hjembed 1\nshape 2\nwrap 0\ncube 1\nmap 0 1\npath 0 0\n";
+  try {
+    (void)from_text(text);
+    FAIL() << "truncated path header accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated mid-path"), std::string::npos) << msg;
+  }
+}
+
+TEST(Io, MissingEndMarkerNamesTheLine) {
+  const std::string text = "hjembed 1\nshape 2\nwrap 0\ncube 1\nmap 0 1\n";
+  try {
+    (void)from_text(text);
+    FAIL() << "document without end sentinel accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("missing end marker"), std::string::npos) << msg;
+  }
+}
+
+TEST(Io, SectionErrorsNameTheirLine) {
+  try {
+    (void)from_text("hjembed 1\nshape 3 x\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)from_text("hjembed 1\nshape 2\nwrap 0\ncube 1\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected map"), std::string::npos) << msg;
+  }
+}
+
+TEST(Io, EveryBytePrefixThrowsWithALineOrParses) {
+  // Byte-level truncation fuzz: any prefix of a real document (this one
+  // carries explicit path lines) either parses — only possible for
+  // near-complete prefixes — or throws an error naming a line.
+  auto emb = direct_embedding(Shape{3, 5});
+  ASSERT_TRUE(emb.has_value());
+  const std::string text = to_text(**emb);
+  u64 parsed = 0, rejected = 0;
+  for (std::size_t n = 0; n < text.size(); ++n) {
+    try {
+      (void)from_text(text.substr(0, n));
+      ++parsed;
+    } catch (const std::invalid_argument& e) {
+      ++rejected;
+      ASSERT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << "prefix " << n << ": " << e.what();
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Everything short of the end sentinel must have been rejected.
+  EXPECT_LE(parsed, 1u);
+}
+
 TEST(Io, SaveLoadFile) {
   auto emb = direct_embedding(Shape{3, 3, 3});
   ASSERT_TRUE(emb.has_value());

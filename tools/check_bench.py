@@ -23,6 +23,12 @@ Checks, per file (schema chosen by basename):
         every equivalence row is identical (the lexicographic default
         reproduces the historical planner), and the wirelength
         objective's wins row shows >= 1 win at dilation <= 2
+      - BENCH_serve*: latency rows keep p99 >= p50 >= 0 us, the split
+        row's warm+cold+degraded+shed verdicts sum to its requests
+        (shedding is accounted load, not loss), and every corruption row
+        answers and verifies 100% of its requests with
+        warm+degraded+cold == answered (byte flips degrade to the live
+        planner, never to an unverified or dropped reply)
 
 Exits 1 on the first file with violations; prints every violation found.
 """
@@ -84,6 +90,20 @@ BOUNDS_WINS = {
     "wins_dil2": int, "losses": int, "metric_saved": int,
 }
 OBJECTIVES = ("lexicographic", "dilation", "wirelength", "congestion")
+SERVE_LATENCY = {
+    "row": str, "mode": str, "requests": int, "p50_us": int,
+    "p99_us": int, "mean_us": (int, float),
+}
+SERVE_SPLIT = {
+    "row": str, "requests": int, "warm": int, "cold": int,
+    "degraded": int, "shed": int,
+}
+SERVE_CORRUPTION = {
+    "row": str, "flips": int, "requests": int, "answered": int,
+    "verified": int, "warm": int, "degraded": int, "cold": int,
+    "quarantined": int,
+}
+SERVE_MODES = ("cold", "warm")
 
 
 def check_types(row, schema, errors, where, required=True):
@@ -252,6 +272,62 @@ def check_bounds(rows, errors):
                       "dilation <= 2 (wins_dil2 == 0)")
 
 
+def check_serve(rows, errors):
+    modes = set()
+    saw_split = saw_corruption = False
+    for lineno, row in rows:
+        where = f"line {lineno}"
+        kind = row.get("row")
+        if kind == "latency":
+            check_types(row, SERVE_LATENCY, errors, where)
+            if not all(k in row for k in SERVE_LATENCY):
+                continue
+            if row["mode"] not in SERVE_MODES:
+                errors.append(f"{where}: latency mode '{row['mode']}' "
+                              f"not in {SERVE_MODES}")
+            modes.add(row["mode"])
+            if row["requests"] < 1:
+                errors.append(f"{where}: latency row with no requests")
+            if not (0 <= row["p50_us"] <= row["p99_us"]):
+                errors.append(f"{where}: latency percentiles inverted: "
+                              f"p50={row['p50_us']} p99={row['p99_us']}")
+        elif kind == "split":
+            check_types(row, SERVE_SPLIT, errors, where)
+            if not all(k in row for k in SERVE_SPLIT):
+                continue
+            saw_split = True
+            total = (row["warm"] + row["cold"] + row["degraded"]
+                     + row["shed"])
+            if total != row["requests"]:
+                errors.append(f"{where}: verdict split sums to {total}, "
+                              f"requests={row['requests']}")
+        elif kind == "corruption":
+            check_types(row, SERVE_CORRUPTION, errors, where)
+            if not all(k in row for k in SERVE_CORRUPTION):
+                continue
+            saw_corruption = True
+            if row["answered"] != row["requests"]:
+                errors.append(f"{where}: {row['answered']} of "
+                              f"{row['requests']} requests answered")
+            if row["verified"] != row["answered"]:
+                errors.append(f"{where}: {row['verified']} of "
+                              f"{row['answered']} answers verified — an "
+                              "uncertified plan escaped")
+            served = row["warm"] + row["degraded"] + row["cold"]
+            if served != row["answered"]:
+                errors.append(f"{where}: serve verdicts sum to {served}, "
+                              f"answered={row['answered']}")
+        else:
+            errors.append(f"{where}: unknown row type '{kind}'")
+    for mode in SERVE_MODES:
+        if mode not in modes:
+            errors.append(f"no latency row for mode '{mode}'")
+    if not saw_split:
+        errors.append("no split row")
+    if not saw_corruption:
+        errors.append("no corruption rows")
+
+
 def check_file(path, min_plan_speedup=None):
     errors = []
     rows = []
@@ -281,9 +357,12 @@ def check_file(path, min_plan_speedup=None):
         check_storm(rows, errors)
     elif name.startswith("BENCH_bounds"):
         check_bounds(rows, errors)
+    elif name.startswith("BENCH_serve"):
+        check_serve(rows, errors)
     else:
         errors.append(f"no schema for '{name}' (expected BENCH_parallel*, "
-                      "BENCH_recovery*, BENCH_storm* or BENCH_bounds*)")
+                      "BENCH_recovery*, BENCH_storm*, BENCH_bounds* or "
+                      "BENCH_serve*)")
     return errors
 
 
