@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "search/provider.hpp"
 #include "store/precompute.hpp"
 #include "store/serve.hpp"
@@ -46,13 +47,9 @@ void emit(const std::string& line) {
   if (g_json) std::fputs(line.c_str(), g_json);
 }
 
-u64 percentile(std::vector<u64> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
-}
+// Nearest-rank quantiles come from the shared obs helper (same formula
+// the private copy here used, so E22's published numbers are unchanged).
+using obs::percentile;
 
 std::string latency_row(const char* mode, const std::vector<u64>& lat) {
   u64 sum = 0;

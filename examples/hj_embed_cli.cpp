@@ -45,6 +45,17 @@
 // registry as JSON / the span log as Chrome trace_event JSON (load the
 // latter in Perfetto or chrome://tracing). HJ_OBS=1 enables the hooks
 // without writing files.
+//
+// Live telemetry (DESIGN.md §14): --flight=<file> maps a file-backed
+// flight-recorder ring (the last ~512 events survive kill -9; decode
+// with `hj_embed flight <file>`), --events-out=<file> streams every
+// structured event as appended JSON lines, and serve additionally takes
+// --stats-every=N / --stats-out=<file> for periodic one-line JSON
+// snapshots plus the live `stats` protocol command. serve always runs
+// with a flight ring and crash handler, so a SIGSEGV/SIGABRT dumps the
+// in-flight request's last events to <flight>.dump or stderr.
+#include <fcntl.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -82,6 +93,10 @@ bool g_have_schedule = false;
 std::string g_storm_spec;
 std::string g_metrics_out;
 std::string g_trace_out;
+std::string g_flight;
+std::string g_events_out;
+std::string g_stats_out;
+u64 g_stats_every = 0;
 u64 g_serve_queue = 64;
 u64 g_serve_deadline_us = 100000;
 u32 g_precompute_batch = 32;
@@ -110,6 +125,8 @@ void print_usage(const char* argv0) {
       "  storm l1 [l2 ...]          live run under a generated fault storm\n"
       "  stats [max_axis] [n]       plan/simulate a seeded workload, print\n"
       "                             the metrics registry summary\n"
+      "  flight <ring|dump>         decode a flight-recorder ring file or\n"
+      "                             crash dump, print its event lines\n"
       "\n"
       "flags (any command, anywhere on the line):\n"
       "  --threads=N                parallel engine worker count\n"
@@ -125,7 +142,16 @@ void print_usage(const char* argv0) {
       "  --batch=N                  precompute checkpoint batch size (32)\n"
       "  --queue=N                  serve admission queue capacity (64)\n"
       "  --deadline-us=N            serve per-request deadline in\n"
-      "                             microseconds (100000; 0 disables)\n",
+      "                             microseconds (100000; 0 disables)\n"
+      "  --flight=<file>            file-backed flight-recorder ring (the\n"
+      "                             last ~512 events survive even kill -9;\n"
+      "                             crashes also append <file>.dump)\n"
+      "  --events-out=<file>        append every structured event as one\n"
+      "                             JSON line (crash-safe tail)\n"
+      "  --stats-every=N            serve: emit a one-line JSON stats\n"
+      "                             snapshot every N requests\n"
+      "  --stats-out=<file>         serve: append the snapshots here\n"
+      "                             instead of stderr\n",
       argv0);
 }
 
@@ -284,6 +310,14 @@ int cmd_serve(int argc, char** argv) {
   opts.planner = planner_options();
   opts.queue_cap = g_serve_queue;
   opts.deadline_us = g_serve_deadline_us;
+  opts.stats_every = g_stats_every;
+  opts.stats_out = g_stats_out;
+  // The daemon always flies with a recorder: if --flight did not attach
+  // a file-backed ring, attach the anonymous one, and install the crash
+  // handler (dump to <flight>.dump, or stderr without --flight) so a
+  // dying daemon names its in-flight request.
+  obs::flight::install_crash_handler(
+      g_flight.empty() ? std::string{} : g_flight + ".dump");
   std::optional<store::PlanStore> ps;
   const std::string path = argv[2];
   if (path != "-") {
@@ -307,6 +341,19 @@ int cmd_serve(int argc, char** argv) {
                static_cast<unsigned long long>(st.shed),
                static_cast<unsigned long long>(st.errors));
   return rc;
+}
+
+int cmd_flight(int argc, char** argv) {
+  require(argc >= 3, "usage: flight <ring-or-dump-file>");
+  std::vector<std::string> lines;
+  try {
+    lines = obs::flight::read_ring(argv[2]);
+  } catch (const std::invalid_argument& e) {
+    return usage_error(argv[0], e.what());
+  }
+  for (const std::string& l : lines) std::printf("%s\n", l.c_str());
+  std::fprintf(stderr, "flight %s: %zu event lines\n", argv[2], lines.size());
+  return 0;
 }
 
 int cmd_sweep(int argc, char** argv) {
@@ -556,6 +603,27 @@ int main(int argc, char** argv) {
         g_serve_queue = std::strtoull(argv[i] + 8, nullptr, 10);
       } else if (std::strncmp(argv[i], "--deadline-us=", 14) == 0) {
         g_serve_deadline_us = std::strtoull(argv[i] + 14, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--flight=", 9) == 0) {
+        g_flight = argv[i] + 9;
+        require(!g_flight.empty(), "--flight= needs a file path");
+        if (!obs::flight::init_file(g_flight))
+          return usage_error(argv[0],
+                             "cannot map flight ring '" + g_flight + "'");
+        // Any command flown with a ring also gets the crash handler (and
+        // the Failed-verdict dump target): postmortems go to <ring>.dump.
+        obs::flight::install_crash_handler(g_flight + ".dump");
+      } else if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
+        g_events_out = argv[i] + 13;
+        const int fd = ::open(g_events_out.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+        if (fd < 0)
+          return usage_error(argv[0],
+                             "cannot open '" + g_events_out + "' for writing");
+        obs::EventLog::global().set_stream_fd(fd);  // lives until exit
+      } else if (std::strncmp(argv[i], "--stats-every=", 14) == 0) {
+        g_stats_every = std::strtoull(argv[i] + 14, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--stats-out=", 12) == 0) {
+        g_stats_out = argv[i] + 12;
       } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
         par::set_thread_override(static_cast<u32>(std::atoi(argv[i] + 10)));
       } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -584,6 +652,7 @@ int main(int argc, char** argv) {
     else if (cmd == "recover") rc = cmd_recover(argc, argv);
     else if (cmd == "storm") rc = cmd_storm(argc, argv);
     else if (cmd == "stats") rc = cmd_stats(argc, argv);
+    else if (cmd == "flight") rc = cmd_flight(argc, argv);
     if (rc < 0) {
       std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
       print_usage(argv[0]);

@@ -368,6 +368,15 @@ PlanResult Planner::plan(const Shape& shape) {
   out.embedding = e.emb;
   out.report = verify(*e.emb);
   out.plan = e.desc;
+  // Timing-kind: plan() runs on batch worker threads, so emission order
+  // is scheduling-dependent even though each payload is deterministic.
+  if (obs::events_on())
+    obs::Event("planner.plan", obs::Kind::Timing, obs::Severity::Info,
+               "planner")
+        .kv("shape", shape.to_string())
+        .kv("cube", static_cast<u64>(out.report.host_dim))
+        .kv("dil", static_cast<u64>(out.report.dilation))
+        .emit();
   // Non-default objectives record the achieved gaps in the plan string
   // (the default keeps the historical strings, which golden tests pin).
   if (opts_.objective != cost::Objective::Lexicographic) {
@@ -609,6 +618,20 @@ std::vector<PlanResult> plan_batch(const std::vector<Shape>& shapes,
       if (out[i].embedding != canon_plans[canon_of[i]].embedding)
         relabeled.add();
     }
+  }
+  // Batch summary from the calling thread (serial point), so it is a
+  // legitimate Deterministic event: counts are pure functions of the
+  // input batch, independent of worker scheduling.
+  if (obs::events_on()) {
+    u64 relabeled = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i].embedding != canon_plans[canon_of[i]].embedding) ++relabeled;
+    obs::Event("plan.batch", obs::Kind::Deterministic, obs::Severity::Info,
+               "planner")
+        .kv("shapes", static_cast<u64>(shapes.size()))
+        .kv("unique", static_cast<u64>(uniq.size()))
+        .kv("relabeled", relabeled)
+        .emit();
   }
   return out;
 }

@@ -165,6 +165,16 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
         ++result.quarantined;
         cause = "quarantine " + std::to_string(det.from) + "-" +
                 std::to_string(det.to);
+        // Serial driver + deterministic detection order, so the event
+        // stream is a pure function of the workload (Kind contract).
+        if (obs::events_on())
+          obs::Event("live.quarantine", obs::Kind::Deterministic,
+                     obs::Severity::Warn, "live")
+              .kv("epoch", result.epochs)
+              .kv("from", static_cast<u64>(det.from))
+              .kv("to", static_cast<u64>(det.to))
+              .kv("occupancy", static_cast<u64>(quarantine.size()))
+              .emit();
       }
       // Several detections often share one cause (every link into a dead
       // node trips its own counter); log each cause once.
@@ -176,6 +186,14 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
       entry.fault += cause;
     }
     entry.detect_latency = entry.detect_cycle - entry.arrival_cycle;
+    if (obs::events_on())
+      obs::Event("live.detect", obs::Kind::Deterministic,
+                 obs::Severity::Warn, "live")
+          .kv("epoch", result.epochs)
+          .kv("detect_cycle", entry.detect_cycle)
+          .kv("latency", entry.detect_latency)
+          .kv("causes", entry.fault)
+          .emit();
 
     if (obs::enabled()) {
       static obs::Histogram& occ =
@@ -187,6 +205,15 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
         *result.embedding, faults.permanent(), baseline_dilation,
         factor_dim);
     if (!repair.ok) {
+      if (obs::events_on())
+        obs::Event("live.repair.denied", obs::Kind::Deterministic,
+                   obs::Severity::Warn, "live")
+            .kv("epoch", result.epochs)
+            .kv("reason", repair.budget_exhausted ? "budget"
+                          : !repair.witness.empty() ? "impossible"
+                                                    : "transient")
+            .kv("desc", repair.desc)
+            .emit();
       if (!repair.witness.empty()) result.witness = repair.witness;
       if (repair.budget_exhausted || !repair.witness.empty()) {
         // Terminal: either the backoff budget priced this repair sequence
@@ -213,6 +240,15 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
     entry.dilation = repair.report.dilation;
     entry.congestion = repair.report.congestion;
     entry.plan = repair.desc;
+    if (obs::events_on())
+      obs::Event("live.repair", obs::Kind::Deterministic,
+                 obs::Severity::Info, "live")
+          .kv("epoch", result.epochs)
+          .kv("rung", entry.rung)
+          .kv("moved_nodes", entry.moved_nodes)
+          .kv("migration_cost", entry.migration_cost)
+          .kv("dilation", static_cast<u64>(entry.dilation))
+          .emit();
     result.log.push_back(std::move(entry));
     result.embedding = repair.embedding;
     ++result.epochs;
@@ -296,6 +332,22 @@ LiveRunResult run_stencil_with_recovery(EmbeddingPtr base,
     reg.counter("live.repairs_denied").add(result.repairs_denied);
     reg.counter("live.deferred_watchdogs").add(result.deferred_watchdogs);
   }
+  if (obs::events_on())
+    obs::Event("live.verdict", obs::Kind::Deterministic,
+               result.verdict == Verdict::Certified ? obs::Severity::Info
+               : result.verdict == Verdict::Degraded ? obs::Severity::Warn
+                                                     : obs::Severity::Error,
+               "live")
+        .kv("verdict", verdict_name(result.verdict))
+        .kv("epochs", result.epochs)
+        .kv("delivered", result.delivered)
+        .kv("messages", result.messages)
+        .kv("quarantined", result.quarantined)
+        .emit();
+  // A Failed verdict means nothing trustworthy is left — snapshot the
+  // flight ring now (like a crash would) so the postmortem includes the
+  // epochs that led here even though the process lives on.
+  if (result.verdict == Verdict::Failed) (void)obs::flight::dump_to_configured();
   return result;
 }
 

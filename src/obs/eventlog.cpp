@@ -1,0 +1,199 @@
+#include "obs/eventlog.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace hj::obs {
+namespace {
+
+// Capture state: a mutex-protected vector is fine here — capture is only
+// active when obs::enabled(), i.e. in tests and explicitly observed
+// runs, never on the default serve hot path.
+struct Capture {
+  std::mutex mu;
+  std::vector<std::pair<Kind, std::string>> lines;
+  u64 dropped = 0;
+};
+
+Capture& capture() {
+  static Capture c;
+  return c;
+}
+
+std::atomic<int> g_stream_fd{-1};
+
+}  // namespace
+
+const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::publish(Kind kind, const char* line, std::size_t len) {
+  flight::note(line, len);
+  const int fd = g_stream_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    // One write(2) per line (the line already ends without '\n'; build a
+    // terminated copy on the stack) so a killed process tears at most
+    // the final line and the tail stays parseable.
+    char out[Event::kMaxLine + 1];
+    const std::size_t n = len < Event::kMaxLine ? len : Event::kMaxLine;
+    std::memcpy(out, line, n);
+    out[n] = '\n';
+    (void)!::write(fd, out, n + 1);
+  }
+  if (enabled()) {
+    Capture& c = capture();
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (c.lines.size() < kCaptureCap)
+      c.lines.emplace_back(kind, std::string(line, len));
+    else
+      ++c.dropped;
+  }
+}
+
+void EventLog::set_stream_fd(int fd) noexcept {
+  g_stream_fd.store(fd, std::memory_order_release);
+}
+
+bool EventLog::stream_active() const noexcept {
+  return g_stream_fd.load(std::memory_order_acquire) >= 0;
+}
+
+std::vector<std::string> EventLog::events() const {
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::vector<std::string> out;
+  out.reserve(c.lines.size());
+  for (const auto& [kind, line] : c.lines) out.push_back(line);
+  return out;
+}
+
+std::string EventLog::deterministic_text() const {
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::string out;
+  for (const auto& [kind, line] : c.lines)
+    if (kind == Kind::Deterministic) {
+      out += line;
+      out += '\n';
+    }
+  return out;
+}
+
+u64 EventLog::dropped() const noexcept {
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.dropped;
+}
+
+void EventLog::clear() {
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.lines.clear();
+  c.dropped = 0;
+}
+
+Event::Event(const char* name, Kind kind, Severity sev, const char* component) noexcept
+    : kind_(kind) {
+  put_str("{\"ev\":\"");
+  put_escaped(name);
+  put_str("\",\"eid\":\"");
+  // Fixed-width hex of the FNV-1a id.
+  const u32 id = event_id(name);
+  for (int shift = 28; shift >= 0; shift -= 4) put("0123456789abcdef"[(id >> shift) & 0xf]);
+  put_str("\",\"kind\":\"");
+  put_str(kind == Kind::Deterministic ? "det" : "timing");
+  put_str("\",\"sev\":\"");
+  put_str(severity_name(sev));
+  put_str("\",\"comp\":\"");
+  put_escaped(component);
+  put('"');
+}
+
+Event& Event::kv(const char* key, u64 v) noexcept {
+  put_str(",\"");
+  put_escaped(key);
+  put_str("\":");
+  put_u64(v);
+  return *this;
+}
+
+Event& Event::kv(const char* key, i64 v) noexcept {
+  put_str(",\"");
+  put_escaped(key);
+  put_str("\":");
+  if (v < 0) {
+    put('-');
+    put_u64(static_cast<u64>(-(v + 1)) + 1);
+  } else {
+    put_u64(static_cast<u64>(v));
+  }
+  return *this;
+}
+
+Event& Event::kv(const char* key, const char* v) noexcept {
+  put_str(",\"");
+  put_escaped(key);
+  put_str("\":\"");
+  put_escaped(v == nullptr ? "" : v);
+  put('"');
+  return *this;
+}
+
+void Event::emit() noexcept {
+  // The Kind contract: Deterministic lines must be pure functions of the
+  // workload, so the clock and thread id are Timing-only fields.
+  if (kind_ == Kind::Timing) {
+    kv("ts_us", now_us());
+    kv("tid", static_cast<u64>(thread_ordinal()));
+  }
+  buf_[len_++] = '}';  // put() caps len_ at kMaxLine-1, so this byte is reserved
+  EventLog::global().publish(kind_, buf_, len_);
+}
+
+void Event::put(char c) noexcept {
+  if (len_ < kMaxLine - 1) buf_[len_++] = c;  // reserve 1 byte for '}'
+}
+
+void Event::put_str(const char* s) noexcept {
+  for (; *s != '\0'; ++s) put(*s);
+}
+
+void Event::put_escaped(const char* s) noexcept {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      put('\\');
+      put(static_cast<char>(c));
+    } else if (c < 0x20) {
+      put(' ');  // control bytes would break the one-line invariant
+    } else {
+      put(static_cast<char>(c));
+    }
+  }
+}
+
+void Event::put_u64(u64 v) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  while (n > 0) put(tmp[--n]);
+}
+
+}  // namespace hj::obs

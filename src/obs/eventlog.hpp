@@ -1,0 +1,145 @@
+// hjembed: the structured event log — one JSON line per significant
+// state change (a request admitted, a batch checkpointed, an epoch
+// verdict, a cache outcome), built for three consumers at once:
+//
+//   1. the flight recorder: every emitted event is note()'d into the
+//      crash ring, so a postmortem names the in-flight work;
+//   2. a live stream: --events-out appends each line with a single
+//      write(2), so a killed daemon leaves a parseable tail;
+//   3. tests: an in-memory capture (bounded, drop-counted) that the
+//      determinism suite compares bit-for-bit across HJ_THREADS.
+//
+// Schema (DESIGN.md §14). Every line is a flat JSON object:
+//
+//   {"ev":"serve.request","eid":"4c1f00c5","kind":"timing","sev":"info",
+//    "comp":"serve","id":17,"shape":"3x5x7","ts_us":1234,"tid":0}
+//
+//   ev    dotted event name, subsystem first (same convention as metrics)
+//   eid   FNV-1a hash of ev, fixed-width hex — a deterministic numeric id
+//         stable across builds, for log pipelines that key on integers
+//   kind  "det" | "timing" — the metrics Kind contract, verbatim:
+//         Deterministic events are emitted from serial or canonically
+//         ordered call sites, carry NO ts_us/tid fields, and their
+//         concatenated stream is bit-identical at any HJ_THREADS;
+//         Timing events append ts_us (obs::now_us) and tid and may
+//         interleave freely.
+//   sev   "debug" | "info" | "warn" | "error"
+//   comp  emitting component ("serve", "store", "live", "planner", ...)
+//   ...   event-specific keys, u64/i64/string values, insertion order
+//
+// Emission idiom (mirrors the metrics cached-handle hook):
+//
+//   if (obs::events_on()) {
+//     obs::Event("serve.shed", obs::Kind::Timing, obs::Severity::Warn,
+//                "serve")
+//         .kv("id", id).kv("reason", "queue-full").emit();
+//   }
+//
+// events_on() is false until a sink exists (HJ_OBS, a flight ring, or a
+// stream fd), and constexpr false under HJ_DISABLE_OBS — so an
+// uninstrumented run pays one relaxed load per site and a disabled
+// build pays nothing. Event builds its line in a fixed stack buffer
+// (no allocation on the hot path; overlong payloads are truncated).
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace hj::obs {
+
+enum class Severity : u8 { Debug, Info, Warn, Error };
+
+[[nodiscard]] const char* severity_name(Severity s) noexcept;
+
+/// Deterministic 32-bit event id: FNV-1a of the event name. Stable
+/// across builds and platforms; rendered as fixed-width hex in "eid".
+[[nodiscard]] constexpr u32 event_id(const char* name) noexcept {
+  u32 h = 2166136261u;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<u32>(static_cast<unsigned char>(*p));
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Sink registry + capture buffer behind Event::emit(). All methods are
+/// thread-safe; publish() is lock-free unless in-memory capture is on.
+class EventLog {
+ public:
+  static EventLog& global();
+
+  /// Route finished lines (NOT newline-terminated) to every active sink:
+  /// always the flight ring; the stream fd when set; the in-memory
+  /// capture when obs::enabled() (bounded at kCaptureCap, then dropped).
+  void publish(Kind kind, const char* line, std::size_t len);
+
+  /// Append each event line + '\n' to this fd with one write(2) (open
+  /// with O_APPEND; crash leaves a parseable tail). -1 disables.
+  void set_stream_fd(int fd) noexcept;
+  [[nodiscard]] bool stream_active() const noexcept;
+
+  /// In-memory capture (test + stats surface). Lines in emission order.
+  [[nodiscard]] std::vector<std::string> events() const;
+  /// Only Kind::Deterministic lines, concatenated with '\n' — the exact
+  /// string the determinism property test compares across HJ_THREADS.
+  [[nodiscard]] std::string deterministic_text() const;
+  [[nodiscard]] u64 dropped() const noexcept;
+  void clear();
+
+  static constexpr std::size_t kCaptureCap = 65536;
+
+ private:
+  EventLog() = default;
+};
+
+#ifdef HJ_DISABLE_OBS
+[[nodiscard]] inline constexpr bool events_on() noexcept { return false; }
+#else
+/// True when any event sink is live: HJ_OBS/set_enabled (capture),
+/// a flight ring, or an --events-out stream. Emission sites gate on
+/// this so an unobserved run skips all formatting.
+[[nodiscard]] inline bool events_on() noexcept {
+  return enabled() || flight::active() || EventLog::global().stream_active();
+}
+#endif
+
+/// One event under construction: fixed stack buffer, chained kv()s,
+/// emit() closes the object and publishes. Build only inside an
+/// events_on() guard — construction does real formatting work.
+class Event {
+ public:
+  static constexpr std::size_t kMaxLine = 480;  // < flight::kSlotBytes
+
+  Event(const char* name, Kind kind, Severity sev, const char* component) noexcept;
+
+  Event& kv(const char* key, u64 v) noexcept;
+  Event& kv(const char* key, i64 v) noexcept;
+  Event& kv(const char* key, u32 v) noexcept { return kv(key, static_cast<u64>(v)); }
+  Event& kv(const char* key, int v) noexcept { return kv(key, static_cast<i64>(v)); }
+  Event& kv(const char* key, const char* v) noexcept;
+  Event& kv(const char* key, const std::string& v) noexcept { return kv(key, v.c_str()); }
+
+  /// Close the JSON object (Timing events gain ts_us/tid here) and hand
+  /// the line to EventLog::global().publish().
+  void emit() noexcept;
+
+  /// The line so far, without the closing brace (tests).
+  [[nodiscard]] std::string partial() const { return std::string(buf_, len_); }
+
+ private:
+  void put(char c) noexcept;
+  void put_str(const char* s) noexcept;
+  void put_escaped(const char* s) noexcept;
+  void put_u64(u64 v) noexcept;
+
+  char buf_[kMaxLine];
+  std::size_t len_ = 0;
+  Kind kind_;
+};
+
+}  // namespace hj::obs

@@ -1,0 +1,286 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <stdexcept>
+
+namespace hj::obs::flight {
+namespace {
+
+// The on-disk and in-memory header. `head` is the next sequence number;
+// slot for sequence s is s % slot_count. Fixed 24-byte layout so a
+// file-backed ring is decodable by any build.
+struct RingHeader {
+  char magic[8];
+  u32 slot_count;
+  u32 slot_bytes;
+  std::atomic<u64> head;
+};
+static_assert(sizeof(RingHeader) == kHeaderBytes, "ring header layout is part of the file format");
+static_assert(std::atomic<u64>::is_always_lock_free, "note() must stay async-signal-safe");
+
+// The active ring. `g_ring` flips non-null exactly once per attach and
+// is read with acquire so note() from any thread sees initialized
+// memory. Rings are never detached (the mapping must outlive crash
+// handlers), only replaced.
+std::atomic<RingHeader*> g_ring{nullptr};
+
+constexpr u32 kMaxSlots = 1u << 20;
+
+u64 ring_bytes(u32 slots) { return kHeaderBytes + static_cast<u64>(slots) * kSlotBytes; }
+
+void init_header(RingHeader* h, u32 slots) {
+  std::memcpy(h->magic, kMagic, sizeof(kMagic));
+  h->slot_count = slots;
+  h->slot_bytes = kSlotBytes;
+  h->head.store(0, std::memory_order_relaxed);
+}
+
+char* slot_at(RingHeader* h, u64 seq) {
+  return reinterpret_cast<char*>(h) + kHeaderBytes +
+         static_cast<u64>(seq % h->slot_count) * h->slot_bytes;
+}
+
+// A slot is valid when it holds a non-empty run of printable bytes
+// terminated by '\n' before the first NUL. Torn or never-written slots
+// fail this and are skipped by every reader.
+std::size_t valid_line_len(const char* slot, u32 slot_bytes) {
+  for (u32 i = 0; i < slot_bytes; ++i) {
+    const char c = slot[i];
+    if (c == '\n') return i == 0 ? 0 : i + 1;
+    if (c == '\0' || static_cast<unsigned char>(c) < 0x20 || static_cast<unsigned char>(c) > 0x7e)
+      return 0;
+  }
+  return 0;
+}
+
+// --- crash handler state: plain arrays + sig_atomic_t only. ---
+char g_dump_path[512] = {0};
+volatile sig_atomic_t g_in_handler = 0;
+bool g_handlers_installed = false;
+struct sigaction g_prev[5];
+const int kFatalSignals[5] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+void write_all(int fd, const char* p, std::size_t n) noexcept {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return;  // best effort; nowhere to report from a handler
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+// Hand-rolled decimal formatting: snprintf is not async-signal-safe.
+std::size_t format_u64(u64 v, char* out) noexcept {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void crash_handler(int sig) {
+  if (g_in_handler == 0) {
+    g_in_handler = 1;
+    if (g_ring.load(std::memory_order_acquire) != nullptr) {
+      // Configured dump file, or stderr when none was set (a crashing
+      // daemon's last words land in the operator's terminal/log).
+      int fd = 2;
+      bool close_fd = false;
+      if (g_dump_path[0] != '\0') {
+        const int f = ::open(g_dump_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (f >= 0) {
+          fd = f;
+          close_fd = true;
+        }
+      }
+      char banner[64];
+      std::size_t n = 0;
+      const char* head = "# flight dump signal=";
+      std::memcpy(banner + n, head, std::strlen(head));
+      n += std::strlen(head);
+      n += format_u64(static_cast<u64>(sig), banner + n);
+      banner[n++] = '\n';
+      write_all(fd, banner, n);
+      dump_fd(fd);
+      if (close_fd) ::close(fd);
+    }
+  }
+  // Re-raise with the default disposition so the process still dies
+  // with the honest signal (and ASan/test harnesses see it).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+bool active() noexcept { return g_ring.load(std::memory_order_acquire) != nullptr; }
+
+void init(u32 slots) {
+  if (active()) return;
+  require(slots > 0 && slots <= kMaxSlots, "flight ring slots out of range: %u", slots);
+  void* raw = operator new(ring_bytes(slots));
+  std::memset(raw, 0, ring_bytes(slots));
+  auto* mem = new (raw) RingHeader;
+  init_header(mem, slots);
+  g_ring.store(mem, std::memory_order_release);
+}
+
+bool init_file(const std::string& path, u32 slots) {
+  require(slots > 0 && slots <= kMaxSlots, "flight ring slots out of range: %u", slots);
+  const u64 bytes = ring_bytes(slots);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    init(slots);
+    return false;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    init(slots);
+    return false;
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    init(slots);
+    return false;
+  }
+  auto* h = new (map) RingHeader;
+  init_header(h, slots);
+  g_ring.store(h, std::memory_order_release);
+  return true;
+}
+
+void note(const char* line, std::size_t len) noexcept {
+  RingHeader* h = g_ring.load(std::memory_order_acquire);
+  if (h == nullptr || line == nullptr) return;
+  const u64 seq = h->head.fetch_add(1, std::memory_order_relaxed);
+  char* slot = slot_at(h, seq);
+  const std::size_t cap = h->slot_bytes - 1;  // room for '\n'
+  if (len > cap) len = cap;
+  // Invalidate first so a concurrent/crashing reader never sees the old
+  // line's tail stitched onto the new line's head.
+  slot[0] = '\0';
+  std::memcpy(slot, line, len);
+  slot[len] = '\n';
+  if (len + 1 < h->slot_bytes) std::memset(slot + len + 1, 0, h->slot_bytes - len - 1);
+}
+
+u64 recorded() noexcept {
+  RingHeader* h = g_ring.load(std::memory_order_acquire);
+  return h == nullptr ? 0 : h->head.load(std::memory_order_relaxed);
+}
+
+u64 dump_fd(int fd) noexcept {
+  RingHeader* h = g_ring.load(std::memory_order_acquire);
+  if (h == nullptr) return 0;
+  const u64 head = h->head.load(std::memory_order_relaxed);
+  const u64 count = head < h->slot_count ? head : h->slot_count;
+  u64 written = 0;
+  for (u64 i = 0; i < count; ++i) {
+    const char* slot = slot_at(h, head - count + i);
+    const std::size_t len = valid_line_len(slot, h->slot_bytes);
+    if (len == 0) continue;
+    write_all(fd, slot, len);
+    ++written;
+  }
+  return written;
+}
+
+bool dump(const std::string& path) noexcept {
+  if (!active()) return false;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_fd(fd);
+  ::close(fd);
+  return true;
+}
+
+bool dump_to_configured() noexcept {
+  if (g_dump_path[0] == '\0' || !active()) return false;
+  const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  dump_fd(fd);
+  ::close(fd);
+  return true;
+}
+
+void install_crash_handler(const std::string& dump_path) {
+  require(dump_path.size() < sizeof(g_dump_path), "flight dump path too long: %zu bytes",
+          dump_path.size());
+  if (!active()) init();
+  std::memcpy(g_dump_path, dump_path.c_str(), dump_path.size() + 1);
+  if (g_handlers_installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  for (std::size_t i = 0; i < 5; ++i) sigaction(kFatalSignals[i], &sa, &g_prev[i]);
+  g_handlers_installed = true;
+}
+
+void uninstall_crash_handler() noexcept {
+  if (!g_handlers_installed) return;
+  for (std::size_t i = 0; i < 5; ++i) sigaction(kFatalSignals[i], &g_prev[i], nullptr);
+  g_handlers_installed = false;
+  g_dump_path[0] = '\0';
+}
+
+std::vector<std::string> read_ring(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open flight ring '%s'", path.c_str());
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<std::string> lines;
+  const bool is_ring = bytes.size() >= kHeaderBytes && std::memcmp(bytes.data(), kMagic, 8) == 0;
+  if (!is_ring) {
+    // A text dump (from dump()/the crash handler): split on newlines.
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t nl = bytes.find('\n', pos);
+      if (nl == std::string::npos) break;  // drop the torn final line
+      if (nl > pos) lines.push_back(bytes.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return lines;
+  }
+  // Decode via a trivially-copyable mirror of RingHeader (the atomic
+  // member blocks memcpy into the real struct).
+  struct PlainHeader {
+    char magic[8];
+    u32 slot_count;
+    u32 slot_bytes;
+    u64 head;
+  };
+  static_assert(sizeof(PlainHeader) == kHeaderBytes);
+  PlainHeader hdr;
+  std::memcpy(&hdr, bytes.data(), kHeaderBytes);
+  const u32 slots = hdr.slot_count;
+  const u32 slot_bytes = hdr.slot_bytes;
+  require(slots > 0 && slots <= kMaxSlots && slot_bytes > 0 && slot_bytes <= 4096,
+          "flight ring '%s' has corrupt geometry (%u slots x %u bytes)", path.c_str(), slots,
+          slot_bytes);
+  require(bytes.size() >= kHeaderBytes + static_cast<u64>(slots) * slot_bytes,
+          "flight ring '%s' truncated", path.c_str());
+  const u64 head = hdr.head;
+  const u64 count = head < slots ? head : slots;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 seq = head - count + i;
+    const char* slot = bytes.data() + kHeaderBytes + (seq % slots) * static_cast<u64>(slot_bytes);
+    const std::size_t len = valid_line_len(slot, slot_bytes);
+    if (len > 1) lines.emplace_back(slot, len - 1);  // strip '\n'
+  }
+  return lines;
+}
+
+}  // namespace hj::obs::flight

@@ -1,0 +1,97 @@
+// hjembed: the crash flight recorder — an always-on, lock-free ring
+// buffer of the last N event lines, dumpable from an async-signal-safe
+// handler when the process dies (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL)
+// or on demand (a live-run Failed verdict, a test).
+//
+// Two backings, one layout:
+//
+//   * anonymous  — flight::init(): a static in-process buffer. Survives
+//     any catchable signal (the handler write(2)s the ring to the dump
+//     path before re-raising), lost on SIGKILL.
+//   * file-backed — flight::init_file(path): the same ring mmap(2)'d
+//     MAP_SHARED over a file. The kernel owns the dirty pages, so the
+//     ring survives even `kill -9` — the file IS the postmortem, no
+//     handler needed. read_ring() decodes it offline (`hj_embed flight
+//     <file>`).
+//
+// Ring layout (identical in memory and on disk): a 24-byte header
+// (magic "HJFLT01\n", slot count, slot size, atomic head sequence)
+// followed by slot_count fixed-size slots. A slot holds one event line,
+// '\n'-terminated, zero-padded. note() is wait-free: one relaxed
+// fetch_add to claim a sequence number, one bounded memcpy into the
+// owned slot. A crash can tear at most the slot being written when the
+// signal landed; readers validate each slot (printable bytes ending in
+// '\n') and skip garbage, which is why the TAIL of a dump is always
+// parseable even when the death was mid-write.
+//
+// Async-signal-safety rules (DESIGN.md §14): the dump path uses only
+// open/write/close, integers are formatted by hand (no snprintf), the
+// handler is re-entrancy-guarded with a sig_atomic_t, and it restores
+// the default disposition and re-raises so exit codes stay honest
+// (ASan's own SIGABRT from a failed check still dumps first).
+//
+// The recorder is fed by obs::EventLog (every emitted event is noted
+// here) and costs nothing until init()/init_file() activates it; with
+// HJ_DISABLE_OBS the emission sites above it are dead-code-eliminated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace hj::obs::flight {
+
+inline constexpr u32 kDefaultSlots = 512;
+inline constexpr u32 kSlotBytes = 256;
+inline constexpr char kMagic[8] = {'H', 'J', 'F', 'L', 'T', '0', '1', '\n'};
+inline constexpr u64 kHeaderBytes = 24;
+
+/// True once init() or init_file() has attached a ring. Emission sites
+/// gate on obs::events_on(), which includes this.
+[[nodiscard]] bool active() noexcept;
+
+/// Attach the anonymous in-process ring (idempotent; keeps an existing
+/// ring, including a file-backed one).
+void init(u32 slots = kDefaultSlots);
+
+/// Attach a file-backed ring at `path` (created/truncated, then mmap'd
+/// MAP_SHARED so the last-N events survive SIGKILL). Returns false and
+/// falls back to the anonymous ring when the file cannot be mapped.
+bool init_file(const std::string& path, u32 slots = kDefaultSlots);
+
+/// Record one line (newline NOT required; one is stored). Wait-free,
+/// lock-free, safe from any thread. No-op until a ring is attached.
+void note(const char* line, std::size_t len) noexcept;
+
+/// Sequence number of the next event (== events noted so far).
+[[nodiscard]] u64 recorded() noexcept;
+
+/// Write the ring, oldest to newest, to `fd` as validated text lines.
+/// Async-signal-safe (write(2) only). Returns lines written.
+u64 dump_fd(int fd) noexcept;
+
+/// Dump to a file (truncate + dump_fd). Returns false when the file
+/// cannot be opened or the ring is inactive.
+bool dump(const std::string& path) noexcept;
+
+/// Dump to the path registered by install_crash_handler(). False when
+/// no handler/path is installed or the ring is inactive.
+bool dump_to_configured() noexcept;
+
+/// Install the fatal-signal handler (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/
+/// SIGILL): on death, the ring is appended to `dump_path` (or stderr
+/// when the path is empty) with a one-line banner, then the default
+/// disposition is restored and the signal re-raised. Also attaches the
+/// anonymous ring if none is active. Idempotent; the latest path wins.
+void install_crash_handler(const std::string& dump_path);
+
+/// Restore the previous signal dispositions (tests).
+void uninstall_crash_handler() noexcept;
+
+/// Decode a file-backed ring (or a text dump — detected by the magic)
+/// into lines, oldest to newest, skipping torn slots. Throws
+/// std::invalid_argument when the file cannot be read.
+[[nodiscard]] std::vector<std::string> read_ring(const std::string& path);
+
+}  // namespace hj::obs::flight

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <sstream>
@@ -72,6 +73,37 @@ u32 thread_ordinal() noexcept {
 
 const char* kind_name(Kind k) noexcept {
   return k == Kind::Deterministic ? "deterministic" : "timing";
+}
+
+u64 HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (nearest-rank on the cumulative counts).
+  const u64 rank = static_cast<u64>(q * static_cast<double>(count - 1) + 0.5);
+  u64 seen = 0;
+  for (u32 i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] > rank) {
+      if (i == 0) return 0;
+      const u64 lo = Histogram::bucket_lo(i);
+      // Interpolate the rank's position inside the [lo, 2*lo) bucket.
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[i]);
+      const u64 est = lo + static_cast<u64>(frac * static_cast<double>(lo));
+      return std::min(est, max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+u64 percentile(std::vector<u64> samples, double p) noexcept {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -200,10 +232,13 @@ std::string Registry::summary() const {
   for (const auto& [name, h] : histograms_) {
     const HistogramSnapshot s = h->snapshot();
     if (s.count == 0) continue;
-    char head[160];
+    char head[200];
     std::snprintf(head, sizeof head,
-                  "%s: count=%llu mean=%.1f max=%llu\n", name.c_str(),
-                  static_cast<unsigned long long>(s.count), h->mean(),
+                  "%s: count=%llu mean=%.1f p50=%llu p99=%llu max=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  h->mean(),
+                  static_cast<unsigned long long>(s.quantile(0.50)),
+                  static_cast<unsigned long long>(s.quantile(0.99)),
                   static_cast<unsigned long long>(s.max));
     os << head;
     u64 tallest = 1;

@@ -140,9 +140,22 @@ struct HistogramSnapshot {
   u64 max = 0;
   std::vector<u64> buckets;  // one entry per Histogram bucket
 
+  /// Approximate quantile (q in [0,1]) reconstructed from the bucket
+  /// counts: find the bucket holding the q-th sample, interpolate
+  /// linearly inside its [lo, 2*lo) range, and clamp to the observed
+  /// max. Power-of-two buckets bound the error at <2x, tight enough for
+  /// the p50/p99 stats surfaces; exact sample quantiles come from
+  /// obs::percentile below.
+  [[nodiscard]] u64 quantile(double q) const noexcept;
+
   friend bool operator==(const HistogramSnapshot&,
                          const HistogramSnapshot&) = default;
 };
+
+/// Exact nearest-rank percentile of raw samples (p in [0,1]); sorts a
+/// copy. Shared by bench/exp_serve and the serve phase reports so every
+/// published p50/p99 uses one formula.
+[[nodiscard]] u64 percentile(std::vector<u64> samples, double p) noexcept;
 
 /// Fixed power-of-two-bucket histogram of u64 samples. Bucket 0 counts
 /// v == 0; bucket i (1 <= i < kBuckets-1) counts v in [2^(i-1), 2^i);

@@ -16,9 +16,25 @@
 //
 // Metric naming: dotted lowercase paths, subsystem first —
 // plancache.*, plan.batch.*, planner.*, par.*, sim.*, recovery.*,
-// live.*. Kind::Deterministic only for observation sets that are pure
-// functions of the workload (see the contract in metrics.hpp).
+// live.*, serve.*, store.*. Kind::Deterministic only for observation
+// sets that are pure functions of the workload (see the contract in
+// metrics.hpp).
+//
+// Event idiom (eventlog.hpp): state changes worth a postmortem line use
+//
+//   if (obs::events_on()) {
+//     obs::Event("live.verdict", obs::Kind::Deterministic,
+//                obs::Severity::Warn, "live")
+//         .kv("verdict", "degraded").kv("epochs", epochs).emit();
+//   }
+//
+// Every emitted event also lands in the flight recorder ring
+// (flight.hpp), so the last ~512 events survive a crash. Deterministic
+// events must come from serial/ordered call sites and never carry
+// timestamps; Timing events may be emitted anywhere.
 #pragma once
 
+#include "obs/eventlog.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

@@ -200,6 +200,22 @@ PrecomputeResult precompute(const std::string& store_path,
     reg.counter("store.precompute.batches_resumed", obs::Kind::Timing)
         .add(scan.batches);
   }
+  // Serial driver, so these are Deterministic events: for a given
+  // journal state the resume/torn-tail stream is byte-identical.
+  if (obs::events_on()) {
+    if (res.journal_dropped_bytes > 0)
+      obs::Event("store.precompute.torn_tail", obs::Kind::Deterministic,
+                 obs::Severity::Warn, "store")
+          .kv("dropped_bytes", res.journal_dropped_bytes)
+          .kv("valid_batches", scan.batches)
+          .emit();
+    obs::Event("store.precompute.resume", obs::Kind::Deterministic,
+               obs::Severity::Info, "store")
+        .kv("batches_resumed", scan.batches)
+        .kv("batches_total", res.batches_total)
+        .kv("shapes_total", res.shapes_total)
+        .emit();
+  }
 
   const KillPlan kill = read_kill_plan();
   ShardedPlanCache cache;
@@ -247,6 +263,13 @@ PrecomputeResult precompute(const std::string& store_path,
       obs::Registry::global()
           .counter("store.precompute.batches_planned", obs::Kind::Timing)
           .add();
+    if (obs::events_on())
+      obs::Event("store.precompute.batch", obs::Kind::Deterministic,
+                 obs::Severity::Info, "store")
+          .kv("batch", b)
+          .kv("shapes", last - first)
+          .kv("checkpointed_bytes", static_cast<u64>(frame.size()))
+          .emit();
     if (kill.after_batches && res.batches_planned == kill.after_batches)
       std::raise(SIGKILL);
   }
@@ -257,6 +280,13 @@ PrecomputeResult precompute(const std::string& store_path,
   atomic_write_file(store_path, w.finish());
   std::remove(journal.c_str());
   res.complete = true;
+  if (obs::events_on())
+    obs::Event("store.precompute.published", obs::Kind::Deterministic,
+               obs::Severity::Info, "store")
+        .kv("records", res.shapes_total)
+        .kv("batches_planned", res.batches_planned)
+        .kv("batches_resumed", res.batches_resumed)
+        .emit();
   return res;
 }
 

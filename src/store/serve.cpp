@@ -1,6 +1,8 @@
 #include "store/serve.hpp"
 
 #include <chrono>
+#include <fstream>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -21,10 +23,32 @@ using Clock = std::chrono::steady_clock;
                               .count());
 }
 
-void count(const char* name, u64 n = 1) {
-  if (obs::enabled())
-    obs::Registry::global().counter(name, obs::Kind::Timing).add(n);
-}
+/// Cached handles for the fixed serve counters (the obs.hpp idiom): the
+/// registry map is probed once, at first use, and every later add() is
+/// one relaxed atomic — the per-request lookup the old count(name)
+/// helper paid is gone.
+struct Counters {
+  obs::Counter& store_hits;
+  obs::Counter& store_misses;
+  obs::Counter& store_corrupt;
+  obs::Counter& serve_warm;
+  obs::Counter& serve_cold;
+  obs::Counter& serve_degraded;
+  obs::Counter& serve_shed;
+
+  static Counters& get() {
+    static Counters c{
+        obs::Registry::global().counter("store.hits", obs::Kind::Timing),
+        obs::Registry::global().counter("store.misses", obs::Kind::Timing),
+        obs::Registry::global().counter("store.corrupt", obs::Kind::Timing),
+        obs::Registry::global().counter("serve.warm", obs::Kind::Timing),
+        obs::Registry::global().counter("serve.cold", obs::Kind::Timing),
+        obs::Registry::global().counter("serve.degraded", obs::Kind::Timing),
+        obs::Registry::global().counter("serve.shed", obs::Kind::Timing),
+    };
+    return c;
+  }
+};
 
 }  // namespace
 
@@ -44,12 +68,16 @@ Server::Server(const PlanStore* store, ServeOptions opts,
   if (provider_factory) planner_.set_direct_provider(provider_factory());
 }
 
-PlanResult Server::canonical_plan(const Shape& canon, Verdict& verdict) {
+PlanResult Server::canonical_plan(const Shape& canon, Verdict& verdict,
+                                  PhaseUs& ph) {
   const std::string memo_key = canon.to_string();
   if (opts_.memoize) {
+    const Clock::time_point t = Clock::now();
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = memo_.find(memo_key);
-    if (it != memo_.end()) {
+    const bool hit = it != memo_.end();
+    ph.lookup_us += elapsed_us(t);
+    if (hit) {
       verdict = Verdict::ServedWarm;
       return it->second;
     }
@@ -58,70 +86,83 @@ PlanResult Server::canonical_plan(const Shape& canon, Verdict& verdict) {
   verdict = Verdict::ServedCold;
   if (store_ && canon.dims() <= kMaxRank) {
     const Key key = Key::of(canon);
+    const Clock::time_point tl = Clock::now();
     const PlanStore::Lookup hit = store_->lookup(key);
+    ph.lookup_us += elapsed_us(tl);
     switch (hit.status) {
       case PlanStore::Status::Hit: {
-        count("store.hits");
+        if (obs::enabled()) Counters::get().store_hits.add();
         // Never serve an uncertified plan: the on-disk certificate is
         // advisory only. Re-parse and re-verify before first use; a
         // record that parses but does not verify is as bad as a flipped
         // checksum and gets quarantined the same way.
+        const Clock::time_point tv = Clock::now();
+        PlanResult res;
+        bool certified = false;
         try {
           const std::shared_ptr<ExplicitEmbedding> emb =
               io::from_text(hit.record.emb_text);
           if (emb->guest().shape() == canon) {
             VerifyReport report = verify(*emb);
             if (report.valid) {
-              PlanResult res;
               res.embedding = emb;
               res.report = std::move(report);
               res.plan = hit.record.plan;
-              verdict = Verdict::ServedWarm;
-              if (opts_.memoize) {
-                std::lock_guard<std::mutex> lk(mu_);
-                memo_.emplace(memo_key, res);
-              }
-              return res;
+              certified = true;
             }
           }
         } catch (const std::exception&) {
           // fall through to quarantine + live planner
         }
+        ph.verify_us += elapsed_us(tv);
+        if (certified) {
+          verdict = Verdict::ServedWarm;
+          if (opts_.memoize) {
+            std::lock_guard<std::mutex> lk(mu_);
+            memo_.emplace(memo_key, res);
+          }
+          return res;
+        }
         store_->quarantine(key);
-        count("store.corrupt");
+        if (obs::enabled()) Counters::get().store_corrupt.add();
         verdict = Verdict::Degraded;
         break;
       }
       case PlanStore::Status::Corrupt:
-        count("store.corrupt");
+        if (obs::enabled()) Counters::get().store_corrupt.add();
         verdict = Verdict::Degraded;
         break;
       case PlanStore::Status::Miss:
-        count("store.misses");
+        if (obs::enabled()) Counters::get().store_misses.add();
         break;
     }
   }
 
   // Live planner fallback (cold miss or degraded corruption path). The
   // planner re-verifies its result by construction.
+  const Clock::time_point tp = Clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   PlanResult res = planner_.plan(canon);
+  ph.plan_us += elapsed_us(tp);
   if (opts_.memoize) memo_.emplace(memo_key, res);
   return res;
 }
 
-Reply Server::handle(const Shape& shape) {
+Reply Server::handle(const Shape& shape, u64 queue_us) {
   const Clock::time_point t0 = Clock::now();
   Reply rep;
+  rep.phase.queue_us = queue_us;
   try {
     require(shape.num_nodes() >= 1 && shape.num_nodes() <= (u64{1} << 26),
             "request too large: at most 2^26 mesh nodes");
     const Shape canon = shape.sorted();
     Verdict verdict = Verdict::ServedCold;
-    const PlanResult canon_plan = canonical_plan(canon, verdict);
+    const PlanResult canon_plan = canonical_plan(canon, verdict, rep.phase);
     // Relabel to the requested axis order; relabel_plan re-verifies, so
     // the reply's certificate always covers the exact shape served.
+    const Clock::time_point tr = Clock::now();
     const PlanResult final_plan = relabel_plan(canon_plan, shape);
+    rep.phase.verify_us += elapsed_us(tr);
     rep.verdict = verdict;
     rep.ok = final_plan.report.valid;
     if (!rep.ok) rep.error = "plan failed verification";
@@ -134,7 +175,7 @@ Reply Server::handle(const Shape& shape) {
     rep.ok = false;
     rep.error = e.what();
   }
-  rep.latency_us = elapsed_us(t0);
+  rep.latency_us = elapsed_us(t0) + queue_us;
 
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
@@ -153,13 +194,37 @@ Reply Server::handle(const Shape& shape) {
       stats_.store_corrupt = store_->quarantined_count();
     }
   }
+  // Always-on phase attribution: these relaxed-atomic observes are what
+  // the live `stats` command and --stats-every snapshots answer from,
+  // so they are not gated on obs::enabled().
+  phase_queue_.observe(rep.phase.queue_us);
+  phase_lookup_.observe(rep.phase.lookup_us);
+  phase_verify_.observe(rep.phase.verify_us);
+  phase_plan_.observe(rep.phase.plan_us);
+  phase_total_.observe(rep.latency_us);
   if (obs::enabled()) {
     static obs::Histogram& lat = obs::Registry::global().histogram(
         "serve.latency_us", obs::Kind::Timing);
+    static obs::Histogram& h_queue = obs::Registry::global().histogram(
+        "serve.phase_us.queue", obs::Kind::Timing);
+    static obs::Histogram& h_lookup = obs::Registry::global().histogram(
+        "serve.phase_us.lookup", obs::Kind::Timing);
+    static obs::Histogram& h_verify = obs::Registry::global().histogram(
+        "serve.phase_us.verify", obs::Kind::Timing);
+    static obs::Histogram& h_plan = obs::Registry::global().histogram(
+        "serve.phase_us.plan", obs::Kind::Timing);
     lat.observe(rep.latency_us);
-    if (rep.ok) count(rep.verdict == Verdict::ServedWarm   ? "serve.warm"
-                      : rep.verdict == Verdict::Degraded ? "serve.degraded"
-                                                         : "serve.cold");
+    h_queue.observe(rep.phase.queue_us);
+    h_lookup.observe(rep.phase.lookup_us);
+    h_verify.observe(rep.phase.verify_us);
+    h_plan.observe(rep.phase.plan_us);
+    if (rep.ok) {
+      Counters& c = Counters::get();
+      (rep.verdict == Verdict::ServedWarm ? c.serve_warm
+       : rep.verdict == Verdict::Degraded ? c.serve_degraded
+                                          : c.serve_cold)
+          .add();
+    }
   }
   return rep;
 }
@@ -170,12 +235,20 @@ void Server::note_shed() {
     stats_.requests += 1;
     stats_.shed += 1;
   }
-  count("serve.shed");
+  if (obs::enabled()) Counters::get().serve_shed.add();
 }
 
 ServeStats Server::stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return stats_;
+}
+
+std::map<std::string, obs::HistogramSnapshot> Server::phase_snapshot() const {
+  return {{"queue", phase_queue_.snapshot()},
+          {"lookup", phase_lookup_.snapshot()},
+          {"verify", phase_verify_.snapshot()},
+          {"plan", phase_plan_.snapshot()},
+          {"total", phase_total_.snapshot()}};
 }
 
 namespace {
@@ -242,6 +315,10 @@ std::string format_reply(u64 id, const Shape& shape, const Reply& rep) {
   return os.str();
 }
 
+/// The `stats` protocol reply: the historical one-line counter summary
+/// followed by one `phase <name> ...` line per always-on histogram, so
+/// a live client reads per-phase p50/p99/max without restarting the
+/// daemon.
 std::string format_stats(const Server& server) {
   const ServeStats st = server.stats();
   std::ostringstream os;
@@ -251,6 +328,26 @@ std::string format_stats(const Server& server) {
   if (const PlanStore* ps = server.plan_store())
     os << " store_records=" << ps->record_count()
        << " quarantined=" << ps->quarantined_count();
+  for (const auto& [name, s] : server.phase_snapshot())
+    os << "\nphase " << name << " count=" << s.count
+       << " p50_us=" << s.quantile(0.50) << " p99_us=" << s.quantile(0.99)
+       << " max_us=" << s.max;
+  return os.str();
+}
+
+/// One-line JSON snapshot for --stats-every (flat keys so a shell
+/// `python -c "json.loads(line)"` or jq one-liner can gate on it).
+std::string snapshot_json(const Server& server) {
+  const ServeStats st = server.stats();
+  std::ostringstream os;
+  os << "{\"requests\":" << st.requests << ",\"warm\":" << st.warm
+     << ",\"cold\":" << st.cold << ",\"degraded\":" << st.degraded
+     << ",\"shed\":" << st.shed << ",\"errors\":" << st.errors;
+  for (const auto& [name, s] : server.phase_snapshot())
+    os << ",\"" << name << "_p50_us\":" << s.quantile(0.50) << ",\"" << name
+       << "_p99_us\":" << s.quantile(0.99) << ",\"" << name
+       << "_max_us\":" << s.max;
+  os << "}";
   return os.str();
 }
 
@@ -265,16 +362,60 @@ int run_serve(std::istream& in, std::ostream& out, Server& server) {
     out.flush();
   };
 
+  // --stats-every sink: a file (append, crash-tail-parseable) or stderr.
+  const u64 stats_every = server.options().stats_every;
+  std::ofstream stats_file;
+  std::ostream* stats_sink = nullptr;
+  if (stats_every > 0) {
+    if (!server.options().stats_out.empty()) {
+      stats_file.open(server.options().stats_out, std::ios::app);
+      stats_sink = &stats_file;
+    } else {
+      stats_sink = &std::cerr;
+    }
+  }
+
   std::thread worker([&] {
+    u64 processed = 0;
     while (std::optional<Request> r = queue.pop()) {
+      const u64 queue_us = elapsed_us(r->admitted);
       const u64 deadline = server.options().deadline_us;
-      if (deadline && elapsed_us(r->admitted) > deadline) {
+      if (deadline && queue_us > deadline) {
         server.note_shed();
+        if (obs::events_on()) {
+          obs::Event("serve.shed", obs::Kind::Timing, obs::Severity::Warn,
+                     "serve")
+              .kv("id", r->id)
+              .kv("reason", "deadline")
+              .kv("queue_us", queue_us)
+              .emit();
+        }
         emit("id=" + std::to_string(r->id) + " verdict=shed reason=deadline");
-        continue;
+      } else {
+        const Reply rep = server.handle(r->shape, queue_us);
+        if (obs::events_on()) {
+          obs::Event ev("serve.reply", obs::Kind::Timing,
+                        rep.ok ? obs::Severity::Info : obs::Severity::Error,
+                        "serve");
+          ev.kv("id", r->id).kv("shape", r->shape.to_string());
+          if (rep.ok)
+            ev.kv("verdict", verdict_name(rep.verdict));
+          else
+            ev.kv("error", rep.error);
+          ev.kv("us", rep.latency_us)
+              .kv("queue_us", rep.phase.queue_us)
+              .kv("lookup_us", rep.phase.lookup_us)
+              .kv("verify_us", rep.phase.verify_us)
+              .kv("plan_us", rep.phase.plan_us)
+              .emit();
+        }
+        emit(format_reply(r->id, r->shape, rep));
       }
-      const Reply rep = server.handle(r->shape);
-      emit(format_reply(r->id, r->shape, rep));
+      ++processed;
+      if (stats_sink && processed % stats_every == 0) {
+        *stats_sink << snapshot_json(server) << '\n';
+        stats_sink->flush();
+      }
     }
   });
 
@@ -300,8 +441,25 @@ int run_serve(std::istream& in, std::ostream& out, Server& server) {
       emit("id=" + std::to_string(id) + " error=" + err);
       continue;
     }
+    // The admission event is the flight recorder's in-flight marker: a
+    // crash mid-request leaves this line (with no matching serve.reply)
+    // as the last words naming what was being served.
+    if (obs::events_on()) {
+      obs::Event("serve.request", obs::Kind::Timing, obs::Severity::Info,
+                 "serve")
+          .kv("id", id)
+          .kv("shape", shape->to_string())
+          .emit();
+    }
     if (!queue.try_push(Request{id, *shape, Clock::now()})) {
       server.note_shed();
+      if (obs::events_on()) {
+        obs::Event("serve.shed", obs::Kind::Timing, obs::Severity::Warn,
+                   "serve")
+            .kv("id", id)
+            .kv("reason", "queue-full")
+            .emit();
+      }
       emit("id=" + std::to_string(id) + " verdict=shed reason=queue-full");
     }
   }

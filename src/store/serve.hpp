@@ -21,17 +21,29 @@
 // (`hj_embed serve`): one request per line ("3x5x7" or "3 5 7"), plus
 // "stats" and "quit"; replies are single `id=N ...` lines, so a client
 // can correlate out-of-order completions.
+//
+// Telemetry (DESIGN.md §14). Every reply carries a per-phase latency
+// breakdown (queue wait / store+memo lookup / re-verify / live plan),
+// the Server keeps ALWAYS-ON per-phase histograms (relaxed atomics, no
+// obs gate) so the live `stats` protocol command reports p50/p99/max
+// per phase from a running daemon, and run_serve emits structured
+// events (serve.request / serve.reply / serve.shed) into the event log
+// + flight recorder so a crashed daemon's postmortem names the
+// in-flight request. `--stats-every=N` additionally emits a one-line
+// JSON snapshot every N processed requests.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "core/planner.hpp"
+#include "obs/metrics.hpp"
 #include "store/store.hpp"
 
 namespace hj::store {
@@ -51,7 +63,24 @@ struct ServeOptions {
   /// Memoize verified plans by canonical shape (first use verifies, later
   /// hits reuse the certificate).
   bool memoize = true;
+  /// Emit a one-line JSON stats snapshot every N worker-processed
+  /// requests (0 disables), to `stats_out` (appended) or stderr when
+  /// empty — the daemon is monitorable without restart.
+  u64 stats_every = 0;
+  std::string stats_out;
   PlannerOptions planner;
+};
+
+/// Where a request's latency went, in microseconds. queue_us is the
+/// admission-to-pop wait (run_serve fills it; direct handle() callers
+/// may pass their own); the rest are attributed inside handle():
+/// lookup_us = memo probe + store index lookup, verify_us = record
+/// re-parse + verify() + relabel re-verify, plan_us = live planner.
+struct PhaseUs {
+  u64 queue_us = 0;
+  u64 lookup_us = 0;
+  u64 verify_us = 0;
+  u64 plan_us = 0;
 };
 
 struct Reply {
@@ -64,6 +93,7 @@ struct Reply {
   u64 wl = 0;
   std::string plan;
   u64 latency_us = 0;
+  PhaseUs phase;
 };
 
 /// Point-in-time serve counters (monotone; snapshot via Server::stats()).
@@ -90,21 +120,34 @@ class Server {
                   const DirectProviderFactory& provider_factory = nullptr);
 
   /// Answer one request. Never throws: failures come back as !ok replies.
-  [[nodiscard]] Reply handle(const Shape& shape);
+  /// `queue_us` is the caller-measured admission wait, recorded into the
+  /// reply's phase breakdown and the queue-phase histogram.
+  [[nodiscard]] Reply handle(const Shape& shape, u64 queue_us = 0);
 
   /// Record an admission-time shed (run_serve calls this; handle() never
   /// sheds on its own).
   void note_shed();
 
   [[nodiscard]] ServeStats stats() const;
+
+  /// Always-on per-phase latency histograms ("queue", "lookup",
+  /// "verify", "plan", "total"), independent of obs::enabled() — the
+  /// live `stats` protocol command and --stats-every snapshots answer
+  /// from these without restarting the daemon. When obs::enabled(),
+  /// the same observations are mirrored into the global registry as
+  /// serve.phase_us.* for --metrics-out exports.
+  [[nodiscard]] std::map<std::string, obs::HistogramSnapshot>
+  phase_snapshot() const;
+
   [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
   [[nodiscard]] const PlanStore* plan_store() const noexcept { return store_; }
 
  private:
   /// Verified canonical plan via store -> memo -> live planner.
-  /// `verdict` is set to the rung that produced it.
+  /// `verdict` is set to the rung that produced it; lookup/verify/plan
+  /// time is accumulated into `ph`.
   [[nodiscard]] PlanResult canonical_plan(const Shape& canon,
-                                          Verdict& verdict);
+                                          Verdict& verdict, PhaseUs& ph);
 
   const PlanStore* store_;
   ServeOptions opts_;
@@ -113,6 +156,11 @@ class Server {
   std::unordered_map<std::string, PlanResult> memo_;  // canonical -> plan
   mutable std::mutex stats_mu_;
   ServeStats stats_;
+  obs::Histogram phase_queue_{obs::Kind::Timing};
+  obs::Histogram phase_lookup_{obs::Kind::Timing};
+  obs::Histogram phase_verify_{obs::Kind::Timing};
+  obs::Histogram phase_plan_{obs::Kind::Timing};
+  obs::Histogram phase_total_{obs::Kind::Timing};
 };
 
 /// Bounded MPMC admission queue: try_push() refuses (returns false) when

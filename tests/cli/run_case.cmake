@@ -4,6 +4,9 @@
 #   ARGS            semicolon-separated argument list
 #   PRE_ARGS        if set, run BIN with these arguments first and require
 #                   success (setup step, e.g. precompute before serve)
+#   PRE_STDIN       text fed to the setup command's stdin (same "\n"
+#                   escaping as STDIN; e.g. drive a serve session that
+#                   leaves a flight ring behind)
 #   STDIN           text fed to the command's stdin; "\n" escapes become
 #                   newlines (line-protocol commands like serve)
 #   EXPECT_NONZERO  if set, the command must FAIL (any nonzero exit)
@@ -17,12 +20,25 @@ endif()
 
 if(DEFINED PRE_ARGS)
   separate_arguments(PRE_LIST UNIX_COMMAND "${PRE_ARGS}")
+  set(pre_input_args)
+  if(DEFINED PRE_STDIN)
+    string(REPLACE "\\n" "\n" pre_stdin_body "${PRE_STDIN}")
+    string(RANDOM LENGTH 8 pre_stdin_tag)
+    set(pre_stdin_file
+        "${CMAKE_CURRENT_BINARY_DIR}/cli_pre_stdin_${pre_stdin_tag}.txt")
+    file(WRITE "${pre_stdin_file}" "${pre_stdin_body}")
+    set(pre_input_args INPUT_FILE "${pre_stdin_file}")
+  endif()
   execute_process(
     COMMAND "${BIN}" ${PRE_LIST}
+    ${pre_input_args}
     OUTPUT_VARIABLE pre_out
     ERROR_VARIABLE pre_err
     RESULT_VARIABLE pre_rc
   )
+  if(DEFINED PRE_STDIN)
+    file(REMOVE "${pre_stdin_file}")
+  endif()
   if(NOT pre_rc EQUAL 0)
     message(FATAL_ERROR
             "setup command failed (exit ${pre_rc})\n${pre_out}${pre_err}")

@@ -82,6 +82,35 @@ TEST(ObsDeterminism, DeterministicAggregatesMatchAcrossThreadCounts) {
   EXPECT_EQ(runs[0], runs[2]);
 }
 
+// The same contract, extended to the structured event log: the
+// concatenation of Kind::Deterministic event LINES (not just aggregate
+// counters) is bit-identical at HJ_THREADS 1/2/8, because Det events are
+// emitted only from serial or canonically ordered call sites and carry
+// no clock/thread fields. Timing events are free to interleave and are
+// filtered out by deterministic_text().
+TEST(ObsDeterminism, DeterministicEventStreamsMatchAcrossThreadCounts) {
+  obs::set_enabled(true);
+  std::vector<std::string> streams;
+  for (const u32 threads : {1u, 2u, 8u}) {
+    par::set_thread_override(threads);
+    obs::Registry::global().reset();
+    obs::EventLog::global().clear();
+    for (u64 seed = 1; seed <= 20; ++seed) run_workload(seed);
+    streams.push_back(obs::EventLog::global().deterministic_text());
+  }
+  par::set_thread_override(0);
+  obs::set_enabled(false);
+  obs::EventLog::global().clear();
+  obs::Trace::global().clear();
+
+  ASSERT_FALSE(streams[0].empty());
+  // The batch-summary event is Det and fires once per plan_batch call.
+  EXPECT_NE(streams[0].find("\"ev\":\"plan.batch\""), std::string::npos);
+  EXPECT_EQ(streams[0].find("ts_us"), std::string::npos);
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+}
+
 TEST(ObsDeterminism, TimingMetricsAreExcludedFromTheContract) {
   obs::set_enabled(true);
   obs::Registry::global().reset();

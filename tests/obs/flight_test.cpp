@@ -1,0 +1,151 @@
+// Flight-recorder contract tests: ring wraparound keeps the newest N
+// lines in order, file-backed rings decode offline, on-demand dumps are
+// parseable text, and the crash handler writes a dump from a raised
+// SIGABRT before the process dies with the honest signal (exercised in
+// a forked child so it also runs under ASan, whose own abort path goes
+// through the same handler chain).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace hj {
+namespace {
+
+namespace flight = obs::flight;
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "hj_flight_" + tag;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Flight, RingWraparoundKeepsNewestSlotsInOrder) {
+  const std::string ring = temp_path("wrap.ring");
+  ASSERT_TRUE(flight::init_file(ring, /*slots=*/8));
+  const u64 base = flight::recorded();
+  for (int i = 0; i < 20; ++i) {
+    const std::string line = "wrap-" + std::to_string(i);
+    flight::note(line.c_str(), line.size());
+  }
+  EXPECT_EQ(flight::recorded(), base + 20);
+
+  // 20 notes into 8 slots: exactly wrap-12 .. wrap-19 survive, oldest
+  // first — the wraparound overwrote 0..11.
+  const std::vector<std::string> lines = flight::read_ring(ring);
+  ASSERT_EQ(lines.size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)],
+              "wrap-" + std::to_string(12 + i));
+  std::remove(ring.c_str());
+}
+
+TEST(Flight, OverlongLinesAreTruncatedNotTorn) {
+  const std::string ring = temp_path("trunc.ring");
+  ASSERT_TRUE(flight::init_file(ring, /*slots=*/4));
+  const std::string huge(1000, 'x');
+  flight::note(huge.c_str(), huge.size());
+  const std::vector<std::string> lines = flight::read_ring(ring);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), flight::kSlotBytes - 1);  // capped + '\n'
+  EXPECT_EQ(lines[0], std::string(flight::kSlotBytes - 1, 'x'));
+  std::remove(ring.c_str());
+}
+
+TEST(Flight, DumpProducesParseableTextReadableByReadRing) {
+  const std::string ring = temp_path("dump.ring");
+  const std::string out = temp_path("dump.txt");
+  ASSERT_TRUE(flight::init_file(ring, /*slots=*/16));
+  for (int i = 0; i < 3; ++i) {
+    const std::string line = "dump-" + std::to_string(i);
+    flight::note(line.c_str(), line.size());
+  }
+  ASSERT_TRUE(flight::dump(out));
+  // read_ring() detects the missing magic and decodes the text form.
+  const std::vector<std::string> lines = flight::read_ring(out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "dump-0");
+  EXPECT_EQ(lines[2], "dump-2");
+  std::remove(ring.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Flight, DumpToConfiguredRequiresAnInstalledPath) {
+  flight::uninstall_crash_handler();
+  EXPECT_FALSE(flight::dump_to_configured());
+
+  const std::string ring = temp_path("cfg.ring");
+  const std::string out = temp_path("cfg.dump");
+  ASSERT_TRUE(flight::init_file(ring, /*slots=*/16));
+  flight::install_crash_handler(out);
+  const std::string line = "configured-dump-probe";
+  flight::note(line.c_str(), line.size());
+  EXPECT_TRUE(flight::dump_to_configured());
+  flight::uninstall_crash_handler();
+
+  EXPECT_NE(read_file(out).find("configured-dump-probe"), std::string::npos);
+  std::remove(ring.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Flight, ReadRingRejectsMissingFile) {
+  EXPECT_THROW((void)flight::read_ring(temp_path("no-such-file")),
+               std::invalid_argument);
+}
+
+// The async-signal-safety claim, end to end: a child attaches its own
+// ring, installs the handler, notes a few events and abort()s. The
+// parent requires death by SIGABRT (the handler re-raises with the
+// default disposition, so the exit stays honest) AND a dump file whose
+// banner names the signal and whose tail holds the noted lines.
+TEST(Flight, CrashHandlerDumpsRingOnSigabrt) {
+  const std::string ring = temp_path("crash.ring");
+  const std::string dump = temp_path("crash.dump");
+  std::remove(dump.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: only _exit() on failure paths — no gtest machinery here.
+    if (!flight::init_file(ring, /*slots=*/32)) _exit(90);
+    flight::install_crash_handler(dump);
+    for (int i = 0; i < 5; ++i) {
+      const std::string line = "inflight-request-" + std::to_string(i);
+      flight::note(line.c_str(), line.size());
+    }
+    raise(SIGABRT);
+    _exit(91);  // unreachable when the handler re-raises correctly
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::string body = read_file(dump);
+  EXPECT_NE(body.find("# flight dump signal=6"), std::string::npos) << body;
+  EXPECT_NE(body.find("inflight-request-0"), std::string::npos);
+  EXPECT_NE(body.find("inflight-request-4"), std::string::npos);
+
+  // The mmap'd ring file itself is also decodable postmortem.
+  const std::vector<std::string> lines = flight::read_ring(ring);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines.back(), "inflight-request-4");
+
+  std::remove(ring.c_str());
+  std::remove(dump.c_str());
+}
+
+}  // namespace
+}  // namespace hj

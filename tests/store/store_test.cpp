@@ -498,5 +498,100 @@ TEST(RunServe, LineProtocolVerdictsErrorsAndStats) {
   remove_store(path);
 }
 
+TEST(Serve, PhaseBreakdownAttributesRequestLatency) {
+  Server server(nullptr);
+  // The caller-measured queue wait is recorded verbatim into the reply
+  // and folded into the end-to-end latency.
+  const Reply cold = server.handle(Shape{{3, 5}}, /*queue_us=*/123);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.phase.queue_us, 123u);
+  EXPECT_GE(cold.latency_us, 123u);
+
+  // Memo hit: the lookup phase fires, the live planner does not.
+  const Reply memo = server.handle(Shape{{3, 5}});
+  ASSERT_TRUE(memo.ok);
+  EXPECT_EQ(memo.verdict, Verdict::ServedWarm);
+  EXPECT_EQ(memo.phase.queue_us, 0u);
+
+  // The always-on histograms saw every request, independent of HJ_OBS.
+  const auto phases = server.phase_snapshot();
+  ASSERT_EQ(phases.size(), 5u);
+  for (const char* name : {"queue", "lookup", "verify", "plan", "total"})
+    ASSERT_EQ(phases.count(name), 1u) << name;
+  EXPECT_EQ(phases.at("total").count, 2u);
+  EXPECT_EQ(phases.at("queue").count, 2u);
+  EXPECT_EQ(phases.at("queue").max, 123u);
+  // Bucket-interpolated quantile: within the <2x power-of-two bound and
+  // clamped to the observed max.
+  EXPECT_GE(phases.at("queue").quantile(0.99), 64u);
+  EXPECT_LE(phases.at("queue").quantile(0.99), 123u);
+}
+
+TEST(Serve, ReVerifyTimeIsAttributedToTheVerifyPhase) {
+  const std::string path = temp_path("phase_verify.hjs");
+  remove_store(path);
+  PrecomputeOptions opts;
+  opts.max_nodes = 16;
+  ASSERT_TRUE(precompute(path, opts).complete);
+  const PlanStore store = PlanStore::open(path);
+  Server server(&store);
+  const Reply warm = server.handle(Shape{{2, 3}});
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.verdict, Verdict::ServedWarm);
+  // A store hit pays lookup + mandatory re-verify, never the planner.
+  EXPECT_EQ(warm.phase.plan_us, 0u);
+  EXPECT_EQ(server.phase_snapshot().at("verify").count, 1u);
+  remove_store(path);
+}
+
+TEST(RunServe, StatsCommandReportsPerPhaseHistograms) {
+  Server server(nullptr);
+  std::istringstream in("2x3\n3x4\nstats\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(in, out, server), 0);
+  const std::string o = out.str();
+  // The live stats command answers with p50/p99/max per phase, computed
+  // from the always-on histograms — no restart, no HJ_OBS required.
+  // (Counts are not asserted: stats is answered by the reader thread
+  // while the worker may still be draining the queue.)
+  for (const char* name : {"queue", "lookup", "verify", "plan", "total"}) {
+    const std::string head = std::string("phase ") + name + " count=";
+    EXPECT_NE(o.find(head), std::string::npos) << name << " in:\n" << o;
+  }
+  EXPECT_NE(o.find("p50_us="), std::string::npos) << o;
+  EXPECT_NE(o.find("p99_us="), std::string::npos) << o;
+  EXPECT_NE(o.find("max_us="), std::string::npos) << o;
+}
+
+TEST(RunServe, StatsEveryWritesOneLineJsonSnapshots) {
+  const std::string snap = temp_path("stats_every.jsonl");
+  std::remove(snap.c_str());
+  ServeOptions opts;
+  opts.stats_every = 2;
+  opts.stats_out = snap;
+  Server server(nullptr, opts);
+  std::istringstream in("2x2\n2x3\n2x4\n3x3\nquit\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(in, out, server), 0);
+
+  std::ifstream is(snap);
+  ASSERT_TRUE(is.good()) << snap;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  // 4 processed requests at stats_every=2 -> exactly 2 snapshots, each a
+  // self-contained flat JSON object (the `tail -1 | jq` monitoring
+  // contract from the README).
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"requests\":"), std::string::npos) << l;
+    EXPECT_NE(l.find("\"total_p99_us\":"), std::string::npos) << l;
+  }
+  EXPECT_NE(lines[1].find("\"requests\":4"), std::string::npos) << lines[1];
+  std::remove(snap.c_str());
+}
+
 }  // namespace
 }  // namespace hj::store

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Diff two line-delimited BENCH_*.json artifacts and flag regressions.
+
+Usage: compare_bench.py [options] BASELINE CURRENT
+
+Rows are matched by identity: every string/bool field of the row (row
+type, mode, shape, workload, verdict, ...) plus an occurrence index for
+repeated identities, so reordering between runs does not misalign the
+diff. Numeric fields of matched rows are then compared pairwise:
+
+  * gated metrics are direction-aware and thresholded — a change past
+    the threshold in the BAD direction is a regression, in the good
+    direction it is reported as an improvement:
+        lower is better:  p50_us, p99_us, mean_us, seconds, cycles,
+                          detect_latency, migration_cost,
+                          total_migration_cost, failed, uncovered
+        higher is better: speedup, delivered, wins, wins_dil2,
+                          certified, verified, answered
+  * every other numeric drift is informational only (counts like
+    `requests` legitimately differ between --quick and full runs).
+
+Tiny-value noise is suppressed: a gated metric whose baseline is below
+the absolute floor (default 20, think microseconds) is never failed on.
+
+Options:
+  --threshold=X     default relative threshold (default 0.10 = 10%)
+  --metric=NAME:X   per-metric threshold override, repeatable
+                    (e.g. --metric=p99_us:0.25)
+  --abs-floor=N     skip gating when the baseline value is < N
+  --warn-only       print regressions but exit 0 (the CI soft gate for
+                    runner-noise-prone latency rows)
+
+Exit codes: 0 ok (or --warn-only), 1 regressions found, 2 usage/IO.
+"""
+import json
+import sys
+
+LOWER_IS_BETTER = {
+    "p50_us", "p99_us", "mean_us", "seconds", "cycles", "detect_latency",
+    "migration_cost", "total_migration_cost", "failed", "uncovered",
+}
+HIGHER_IS_BETTER = {
+    "speedup", "delivered", "wins", "wins_dil2", "certified", "verified",
+    "answered",
+}
+
+
+def load_rows(path):
+    rows = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"{path}:{lineno}: invalid JSON ({e})")
+                if not isinstance(row, dict):
+                    raise SystemExit(f"{path}:{lineno}: not a JSON object")
+                rows.append(row)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    return rows
+
+
+def identity(row, seen):
+    """Stable match key: the row's non-numeric fields + occurrence index."""
+    ident = tuple(sorted((k, v) for k, v in row.items()
+                         if isinstance(v, (str, bool))))
+    seen[ident] = seen.get(ident, 0) + 1
+    return ident + (("#", seen[ident]),)
+
+
+def index_rows(rows):
+    seen, out = {}, {}
+    for row in rows:
+        out[identity(row, seen)] = row
+    return out
+
+
+def fmt_ident(key):
+    return " ".join(f"{k}={v}" for k, v in key if k != "#") or "(row)"
+
+
+def compare(base_rows, cur_rows, thresholds, default_threshold, abs_floor):
+    regressions, notes = [], []
+    base = index_rows(base_rows)
+    cur = index_rows(cur_rows)
+    for key in base:
+        if key not in cur:
+            notes.append(f"row dropped: {fmt_ident(key)}")
+    for key in cur:
+        if key not in base:
+            notes.append(f"row added: {fmt_ident(key)}")
+    for key, brow in base.items():
+        crow = cur.get(key)
+        if crow is None:
+            continue
+        where = fmt_ident(key)
+        for metric, bval in brow.items():
+            cval = crow.get(metric)
+            if (isinstance(bval, bool) or isinstance(cval, bool)
+                    or not isinstance(bval, (int, float))
+                    or not isinstance(cval, (int, float))):
+                continue
+            if bval == cval:
+                continue
+            delta = (cval - bval) / bval if bval else float("inf")
+            line = (f"{where}: {metric} {bval} -> {cval} "
+                    f"({delta:+.1%})" if bval else
+                    f"{where}: {metric} {bval} -> {cval}")
+            gated = metric in LOWER_IS_BETTER or metric in HIGHER_IS_BETTER
+            if not gated:
+                notes.append(f"info: {line}")
+                continue
+            threshold = thresholds.get(metric, default_threshold)
+            worse = delta > 0 if metric in LOWER_IS_BETTER else delta < 0
+            if abs(bval) < abs_floor:
+                notes.append(f"info (below floor {abs_floor}): {line}")
+            elif worse and abs(delta) > threshold:
+                regressions.append(
+                    f"{line} exceeds the {threshold:.0%} threshold")
+            elif abs(delta) > threshold:
+                notes.append(f"improvement: {line}")
+            else:
+                notes.append(f"ok: {line}")
+    return regressions, notes
+
+
+def main(argv):
+    default_threshold = 0.10
+    abs_floor = 20.0
+    thresholds = {}
+    warn_only = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            default_threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--metric="):
+            spec = arg.split("=", 1)[1]
+            if ":" not in spec:
+                print(f"bad --metric spec '{spec}' (want NAME:PCT)",
+                      file=sys.stderr)
+                return 2
+            name, pct = spec.split(":", 1)
+            thresholds[name] = float(pct)
+        elif arg.startswith("--abs-floor="):
+            abs_floor = float(arg.split("=", 1)[1])
+        elif arg == "--warn-only":
+            warn_only = True
+        elif arg.startswith("-"):
+            print(f"unknown option '{arg}'", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(load_rows(paths[0]), load_rows(paths[1]),
+                                 thresholds, default_threshold, abs_floor)
+    for note in notes:
+        print(note)
+    tag = "WARN" if warn_only else "FAIL"
+    for r in regressions:
+        print(f"{tag}: {r}", file=sys.stderr)
+    if regressions:
+        print(f"{len(regressions)} regression(s) {paths[0]} -> {paths[1]}",
+              file=sys.stderr)
+        return 0 if warn_only else 1
+    print(f"no regressions {paths[0]} -> {paths[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
